@@ -1,0 +1,115 @@
+// Command beamsim runs matched ChipIR/ROTAX beam campaigns on a device and
+// prints the measured cross sections and fast:thermal ratios — the core
+// measurement protocol of the paper.
+//
+// Usage:
+//
+//	beamsim [-device K20 | -device-file my.json] [-workloads MxM,LUD]
+//	        [-fast 600] [-thermal 3600] [-boost 50] [-seed N]
+//	        [-dump-device path]   # write a catalog device as a JSON template
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"neutronsim"
+	"neutronsim/internal/device"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "beamsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("beamsim", flag.ContinueOnError)
+	deviceName := fs.String("device", "K20", "device to irradiate (see -list)")
+	deviceFile := fs.String("device-file", "", "load a custom device model from JSON instead of the catalog")
+	dumpDevice := fs.String("dump-device", "", "write the selected catalog device as a JSON template and exit")
+	workloads := fs.String("workloads", "", "comma-separated benchmark list (default: paper assignment)")
+	fastSeconds := fs.Float64("fast", 600, "ChipIR beam seconds")
+	thermalSeconds := fs.Float64("thermal", 3600, "ROTAX beam seconds")
+	boost := fs.Float64("boost", 50, "sensitivity boost (ratios preserved; sigmas corrected)")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	list := fs.Bool("list", false, "list devices and benchmarks, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println("devices:")
+		for _, d := range neutronsim.Devices() {
+			fmt.Printf("  %-12s %s %s (%s)\n", d.Name, d.Vendor, d.Process, d.Kind)
+		}
+		fmt.Println("benchmarks:", strings.Join(neutronsim.Workloads(), ", "))
+		return nil
+	}
+	var d *neutronsim.Device
+	if *deviceFile != "" {
+		f, err := os.Open(*deviceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if d, err = device.Load(f); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if d, err = neutronsim.DeviceByName(*deviceName); err != nil {
+			return err
+		}
+	}
+	if *dumpDevice != "" {
+		f, err := os.Create(*dumpDevice)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := device.Save(f, d); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dumpDevice)
+		return nil
+	}
+	var wls []string
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			wls = append(wls, strings.TrimSpace(w))
+		}
+	}
+	budget := neutronsim.Budget{
+		FastSeconds:    *fastSeconds,
+		ThermalSeconds: *thermalSeconds,
+		Boost:          *boost,
+	}
+	a, err := neutronsim.Assess(d, wls, budget, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("device %s (%s, %s)\n", d.Name, d.Vendor, d.Process)
+	fmt.Printf("%-10s %-8s %10s %10s %10s %10s\n",
+		"benchmark", "beam", "runs", "SDC", "DUE", "σ_SDC[cm²]")
+	for _, wl := range a.Workloads {
+		pair := a.PerWorkload[wl]
+		for _, r := range []*neutronsim.BeamResult{pair.Fast, pair.Thermal} {
+			fmt.Printf("%-10s %-8s %10d %10d %10d %10.3g\n",
+				wl, r.Beam, r.Runs, r.SDC, r.DUE, r.SDCCrossSection.Rate / *boost)
+		}
+	}
+	sdc, sdcLo, sdcHi := a.SDCRatio()
+	due, dueLo, dueHi := a.DUERatio()
+	fmt.Println()
+	if !math.IsNaN(sdc) {
+		fmt.Printf("fast:thermal SDC ratio = %.2f  [%.2f, %.2f]\n", sdc, sdcLo, sdcHi)
+	}
+	if !math.IsNaN(due) {
+		fmt.Printf("fast:thermal DUE ratio = %.2f  [%.2f, %.2f]\n", due, dueLo, dueHi)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestUnknownDevice(t *testing.T) {
+	if err := run([]string{"-device", "ENIAC"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"XeonPhi", "K20", "Zynq7000", "MxM", "YOLO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestCampaignOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-device", "K20", "-workloads", "MxM",
+			"-fast", "120", "-thermal", "600", "-boost", "100", "-seed", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"K20", "ChipIR", "ROTAX", "SDC ratio", "DUE ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if err := run([]string{"-device", "K20", "-workloads", "pong"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestDumpAndLoadDeviceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "k20.json")
+	if _, err := capture(t, func() error {
+		return run([]string{"-device", "K20", "-dump-device", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Now run a tiny campaign with the dumped file.
+	out, err := capture(t, func() error {
+		return run([]string{"-device-file", path, "-workloads", "MxM",
+			"-fast", "60", "-thermal", "120", "-boost", "100", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "K20") {
+		t.Errorf("custom-device campaign output missing name:\n%s", out)
+	}
+}
+
+func TestDeviceFileErrors(t *testing.T) {
+	if err := run([]string{"-device-file", "/does/not/exist.json"}); err == nil {
+		t.Error("missing device file accepted")
+	}
+}

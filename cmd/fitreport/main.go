@@ -1,0 +1,105 @@
+// Command fitreport assesses a device and reports its FIT rates and the
+// thermal-neutron contribution in a chosen environment — the paper's
+// bottom-line analysis for one part.
+//
+// Usage:
+//
+//	fitreport [-device K20] [-workloads MxM,LUD] [-location nyc|leadville]
+//	          [-altitude m] [-concrete] [-water] [-rain] [-boost 50] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neutronsim"
+	"neutronsim/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fitreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fitreport", flag.ContinueOnError)
+	deviceName := fs.String("device", "K20", "device name")
+	workloads := fs.String("workloads", "", "comma-separated benchmark list (default: paper assignment)")
+	locName := fs.String("location", "nyc", "nyc or leadville (ignored with -altitude)")
+	altitude := fs.Float64("altitude", -1, "custom site altitude in meters")
+	concrete := fs.Bool("concrete", true, "concrete slab floor (+20% thermal)")
+	water := fs.Bool("water", true, "water cooling (+24% thermal)")
+	rain := fs.Bool("rain", false, "thunderstorm (thermal ×2)")
+	boost := fs.Float64("boost", 50, "assessment sensitivity boost")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	markdown := fs.Bool("markdown", false, "emit a full Markdown reliability dossier instead of the table")
+	nodes := fs.Int("nodes", 0, "system node count for the dossier's checkpoint section")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := neutronsim.DeviceByName(*deviceName)
+	if err != nil {
+		return err
+	}
+	var loc neutronsim.Location
+	switch {
+	case *altitude >= 0:
+		loc = neutronsim.AtAltitude(fmt.Sprintf("site @ %.0f m", *altitude), *altitude)
+	case *locName == "nyc":
+		loc = neutronsim.NYC()
+	case *locName == "leadville":
+		loc = neutronsim.Leadville()
+	default:
+		return fmt.Errorf("unknown location %q", *locName)
+	}
+	env := neutronsim.Environment{
+		Location:      loc,
+		ConcreteFloor: *concrete,
+		WaterCooling:  *water,
+		Raining:       *rain,
+	}
+	var wls []string
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			wls = append(wls, strings.TrimSpace(w))
+		}
+	}
+	fmt.Printf("assessing %s (%s, %s) ...\n", d.Name, d.Vendor, d.Process)
+	budget := neutronsim.QuickBudget()
+	budget.Boost = *boost
+	a, err := neutronsim.Assess(d, wls, budget, *seed)
+	if err != nil {
+		return err
+	}
+	if *markdown {
+		md, err := report.Markdown(report.Input{
+			Assessment:   a,
+			Environments: []neutronsim.Environment{env},
+			SystemNodes:  *nodes,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(md)
+		return nil
+	}
+	rep, err := a.FIT(env)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nenvironment: %s\n", env)
+	fmt.Printf("  fast flux    %8.3g n/cm²/h\n", env.FastFluxPerHour())
+	fmt.Printf("  thermal flux %8.3g n/cm²/h (materials/weather adjusted)\n\n", env.ThermalFluxPerHour())
+	fmt.Printf("%-6s %12s %12s %12s %14s\n", "type", "fast FIT", "thermal FIT", "total FIT", "thermal share")
+	fmt.Printf("%-6s %12.4g %12.4g %12.4g %13.1f%%\n", "SDC",
+		float64(rep.SDC.Fast), float64(rep.SDC.Thermal), float64(rep.SDC.Total()), rep.SDC.ThermalShare()*100)
+	fmt.Printf("%-6s %12.4g %12.4g %12.4g %13.1f%%\n", "DUE",
+		float64(rep.DUE.Fast), float64(rep.DUE.Thermal), float64(rep.DUE.Total()), rep.DUE.ThermalShare()*100)
+	fmt.Printf("\ntotal: %v  (MTBF %.3g h)\n", rep.Total(), rep.Total().MTBF())
+	fmt.Printf("ignoring thermals underestimates the rate by %.2fx\n", rep.UnderestimationFactor())
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestUnknownDevice(t *testing.T) {
+	if err := run([]string{"-device", "ENIAC"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestUnknownLocation(t *testing.T) {
+	if err := run([]string{"-location", "atlantis"}); err == nil {
+		t.Error("unknown location accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-device", "K20", "-workloads", "MxM", "-location", "nyc", "-boost", "100", "-seed", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"K20", "thermal share", "SDC", "DUE", "underestimates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestCustomAltitude(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-device", "TitanX", "-workloads", "HotSpot", "-altitude", "1500", "-boost", "100", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1500 m") {
+		t.Error("custom altitude not reflected")
+	}
+}
+
+func TestMarkdownDossier(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-device", "K20", "-workloads", "MxM",
+			"-markdown", "-nodes", "1000", "-boost", "100", "-seed", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Reliability dossier: K20", "## Checkpoint advice", "## Mitigation notes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dossier missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestFleetReport(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-nodes", "500", "-days", "60", "-rain", "0.3", "-seed", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dry-aisle", "near-cooling", "placement test", "weather test"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	if err := run([]string{"-nodes", "0"}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if err := run([]string{"-rain", "2"}); err == nil {
+		t.Error("rain probability 2 accepted")
+	}
+}

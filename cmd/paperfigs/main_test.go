@@ -1,0 +1,100 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestUnknownScaleRejected(t *testing.T) {
+	if err := run([]string{"-scale", "medium"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run([]string{"-experiment", "E99"}); err == nil {
+		t.Error("bad experiment accepted")
+	}
+}
+
+func TestSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "E1", "-csv", dir, "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "ChipIR") {
+		t.Errorf("missing table output: %.200s", out)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "e1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "E [eV]") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestAblationLookup(t *testing.T) {
+	if _, err := lookup("A5"); err != nil {
+		t.Errorf("A5 not found: %v", err)
+	}
+	if _, err := lookup("Z1"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestCommaSeparatedExperiments(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "E10,A5", "-seed", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E10") || !strings.Contains(out, "A5") {
+		t.Error("expected both experiments in output")
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, func() error {
+		return run([]string{"-experiment", "E1,E5", "-svg", dir, "-seed", "6"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e1_spectra.svg", "e5_counts.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), "<svg") {
+			t.Errorf("%s is not SVG", name)
+		}
+	}
+}

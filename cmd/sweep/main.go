@@ -1,0 +1,171 @@
+// Command sweep maps the COTS design space at the heart of the paper: how
+// the ¹⁰B content and the critical charge of a part set its thermal and
+// fast neutron sensitivity. It evaluates a grid of hypothetical devices
+// against both beamlines and emits one row per design point.
+//
+// Usage:
+//
+//	sweep [-boron-min 1e12] [-boron-max 1e15] [-boron-steps 7]
+//	      [-qcrit-min 1] [-qcrit-max 16] [-qcrit-steps 5]
+//	      [-samples 60000] [-workers N] [-seed N] [-csv file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// point is one design-space evaluation.
+type point struct {
+	boron, qcrit            float64
+	sigmaThermal, sigmaFast float64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	boronMin := fs.Float64("boron-min", 1e12, "minimum ¹⁰B areal density (at/cm²)")
+	boronMax := fs.Float64("boron-max", 1e15, "maximum ¹⁰B areal density (at/cm²)")
+	boronSteps := fs.Int("boron-steps", 7, "boron grid points (log-spaced)")
+	qcritMin := fs.Float64("qcrit-min", 1, "minimum critical charge (fC)")
+	qcritMax := fs.Float64("qcrit-max", 16, "maximum critical charge (fC)")
+	qcritSteps := fs.Int("qcrit-steps", 5, "Qcrit grid points (log-spaced)")
+	samples := fs.Int("samples", 60000, "Monte Carlo energies per cross section")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluators")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	csvPath := fs.String("csv", "", "also write the grid as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *boronMin <= 0 || *boronMax < *boronMin || *boronSteps < 1 {
+		return fmt.Errorf("invalid boron grid")
+	}
+	if *qcritMin <= 0 || *qcritMax < *qcritMin || *qcritSteps < 1 {
+		return fmt.Errorf("invalid qcrit grid")
+	}
+	if *samples <= 0 {
+		return fmt.Errorf("samples must be positive")
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+
+	points := buildGrid(*boronMin, *boronMax, *boronSteps, *qcritMin, *qcritMax, *qcritSteps)
+	if err := evaluate(points, *samples, *workers, *seed); err != nil {
+		return err
+	}
+
+	fmt.Printf("%14s %10s %16s %16s %14s\n",
+		"boron [at/cm²]", "Qcrit [fC]", "σ_thermal [cm²]", "σ_fast [cm²]", "thermal:fast")
+	var csv strings.Builder
+	csv.WriteString("boron_at_cm2,qcrit_fc,sigma_thermal_cm2,sigma_fast_cm2,thermal_to_fast\n")
+	for _, p := range points {
+		ratio := math.NaN()
+		if p.sigmaFast > 0 {
+			ratio = p.sigmaThermal / p.sigmaFast
+		}
+		fmt.Printf("%14.3g %10.3g %16.3g %16.3g %14.3g\n",
+			p.boron, p.qcrit, p.sigmaThermal, p.sigmaFast, ratio)
+		fmt.Fprintf(&csv, "%g,%g,%g,%g,%g\n", p.boron, p.qcrit, p.sigmaThermal, p.sigmaFast, ratio)
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+// buildGrid enumerates the log-spaced design points.
+func buildGrid(bMin, bMax float64, bSteps int, qMin, qMax float64, qSteps int) []*point {
+	logStep := func(lo, hi float64, steps, i int) float64 {
+		if steps == 1 {
+			return lo
+		}
+		return lo * math.Exp(math.Log(hi/lo)*float64(i)/float64(steps-1))
+	}
+	var out []*point
+	for bi := 0; bi < bSteps; bi++ {
+		for qi := 0; qi < qSteps; qi++ {
+			out = append(out, &point{
+				boron: logStep(bMin, bMax, bSteps, bi),
+				qcrit: logStep(qMin, qMax, qSteps, qi),
+			})
+		}
+	}
+	return out
+}
+
+// evaluate fills in the cross sections with a bounded worker pool. Each
+// point draws from its own split RNG stream, so the result is independent
+// of scheduling.
+func evaluate(points []*point, samples, workers int, seed uint64) error {
+	chip := spectrum.ChipIR()
+	rotax := spectrum.ROTAX()
+	// Pre-split one stream per point for scheduling-independent results.
+	root := rng.New(seed)
+	streams := make([]*rng.Stream, len(points))
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				p := points[i]
+				d := device.K20() // planar SRAM-like template geometry
+				d.Name = "sweep"
+				d.Boron10PerCm2 = p.boron
+				d.QcritFC = p.qcrit
+				d.QcritSigmaFC = p.qcrit / 4
+				s := streams[i]
+				sigmaT, err := d.UpsetCrossSection(rotax.Sample, samples, s)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				sigmaF, err := d.UpsetCrossSection(chip.Sample, samples, s)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				p.sigmaThermal = float64(sigmaT)
+				p.sigmaFast = float64(sigmaF)
+			}
+		}()
+	}
+	for i := range points {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return firstErr
+}

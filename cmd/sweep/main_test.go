@@ -1,0 +1,99 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestGridValidation(t *testing.T) {
+	if err := run([]string{"-boron-min", "0"}); err == nil {
+		t.Error("zero boron accepted")
+	}
+	if err := run([]string{"-qcrit-min", "5", "-qcrit-max", "1"}); err == nil {
+		t.Error("inverted qcrit range accepted")
+	}
+	if err := run([]string{"-samples", "0"}); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestBuildGrid(t *testing.T) {
+	pts := buildGrid(1, 100, 3, 2, 2, 1)
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, want := range []float64{1, 10, 100} {
+		if got := pts[i].boron; got < want*0.999 || got > want*1.001 {
+			t.Errorf("point %d boron = %v, want ~%v", i, got, want)
+		}
+	}
+	for _, p := range pts {
+		if p.qcrit != 2 {
+			t.Errorf("qcrit = %v", p.qcrit)
+		}
+	}
+}
+
+func TestSweepOutput(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "grid.csv")
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-boron-steps", "3", "-qcrit-steps", "2",
+			"-samples", "8000", "-workers", "2", "-seed", "5",
+			"-csv", csvPath,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "thermal:fast") {
+		t.Errorf("missing header: %.200s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+3*2 {
+		t.Errorf("CSV rows = %d, want 7", len(lines))
+	}
+}
+
+func TestSweepMonotoneInBoron(t *testing.T) {
+	pts := buildGrid(1e13, 1e15, 3, 6, 6, 1)
+	if err := evaluate(pts, 30000, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Thermal sigma rises with boron; fast sigma stays flat.
+	if !(pts[0].sigmaThermal < pts[1].sigmaThermal && pts[1].sigmaThermal < pts[2].sigmaThermal) {
+		t.Errorf("thermal sigma not monotone: %v %v %v",
+			pts[0].sigmaThermal, pts[1].sigmaThermal, pts[2].sigmaThermal)
+	}
+	fastSpread := pts[2].sigmaFast / pts[0].sigmaFast
+	if fastSpread < 0.5 || fastSpread > 2 {
+		t.Errorf("fast sigma should not depend on boron: spread %v", fastSpread)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestWaterExperimentOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-days-before", "4", "-days-after", "3", "-plot", "-seed", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Tin-II", "water enhancement", "water placed", "detected step"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Seven daily rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 1 && len(f[0]) <= 2 && f[0] >= "1" && f[0] <= "9" {
+			rows++
+		}
+	}
+	if rows < 7 {
+		t.Errorf("expected 7 daily rows, saw %d", rows)
+	}
+}
+
+func TestFlagParsing(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,34 @@
+// Package neutronsim is a simulation framework for studying the risk
+// thermal neutrons pose to the reliability of computing devices,
+// reproducing the DSN 2020 study "An Overview of the Risk Posed by Thermal
+// Neutrons to the Reliability of Computing Devices" (Oliveira et al.).
+//
+// The framework replaces each physical apparatus of the paper with a
+// calibrated simulator while keeping the analysis pipeline identical:
+//
+//   - Beamlines: ChipIR (atmospheric-like fast spectrum) and ROTAX
+//     (thermal Maxwellian), with the fluxes quoted in the paper.
+//   - Devices under test: physical sensitivity models of the Intel Xeon
+//     Phi, NVIDIA K20/TitanX/TitanV, AMD APU (CPU / GPU / CPU+GPU) and a
+//     Xilinx Zynq FPGA. The ¹⁰B(n,α)⁷Li capture reaction drives thermal
+//     sensitivity; fast sensitivity comes from silicon recoils and
+//     reaction products compared against each device's critical charge.
+//   - Benchmarks: real Go implementations of MxM, LUD, LavaMD, HotSpot,
+//     SC, CED, BFS, YOLO and MNIST run stepwise under fault injection with
+//     golden-output comparison (SDC) and hang/crash detection (DUE).
+//   - DRAM: DDR3/DDR4 correct-loop campaigns with the paper's error
+//     taxonomy (transient / intermittent / permanent / SEFI) and SECDED
+//     ECC.
+//   - Environment: a Monte Carlo neutron transport engine moderates fast
+//     neutrons in water and concrete (raising the local thermal flux, as
+//     the paper's Tin-II detector measured: +24% under two inches of
+//     water) and evaluates cadmium / borated-polyethylene shields.
+//   - Risk: cross sections × site fluxes → FIT rates and the thermal
+//     contribution to them, for sites from New York City to Leadville and
+//     scenarios from data centers to rainy-day autonomous driving.
+//
+// The quickest entry points are Assess (device sensitivity → FIT),
+// RunWaterExperiment (the detector experiment), and RunMemoryCampaign
+// (the DDR taxonomy). See the examples directory and EXPERIMENTS.md for
+// the full paper-figure reproductions.
+package neutronsim

@@ -1,0 +1,59 @@
+package neutronsim_test
+
+import (
+	"fmt"
+
+	"neutronsim"
+)
+
+// The FIT arithmetic is deterministic: cross sections × site fluxes.
+func ExampleComputeFIT() {
+	sigmas := neutronsim.Sigmas{
+		SDCFast:    10.14e-9, // cm² per device, ChipIR measurement
+		SDCThermal: 1e-9,     // cm² per device, ROTAX measurement
+		DUEFast:    6.37e-9,
+		DUEThermal: 1e-9,
+	}
+	rep, err := neutronsim.ComputeFIT(sigmas, neutronsim.DataCenter(neutronsim.NYC()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("SDC thermal share: %.1f%%\n", rep.SDC.ThermalShare()*100)
+	fmt.Printf("DUE thermal share: %.1f%%\n", rep.DUE.ThermalShare()*100)
+	// Output:
+	// SDC thermal share: 4.2%
+	// DUE thermal share: 6.5%
+}
+
+// Environments compose material and weather adjustments on a location.
+func ExampleDataCenter() {
+	env := neutronsim.DataCenter(neutronsim.NYC())
+	base := neutronsim.Environment{Location: neutronsim.NYC()}
+	fmt.Printf("machine-room thermal enhancement: %.0f%%\n",
+		(env.ThermalFluxPerHour()/base.ThermalFluxPerHour()-1)*100)
+	// Output:
+	// machine-room thermal enhancement: 44%
+}
+
+// The device catalog carries the paper's six devices (eight configurations).
+func ExampleDevices() {
+	for _, d := range neutronsim.Devices() {
+		if d.Vendor == "NVIDIA" {
+			fmt.Println(d.Name)
+		}
+	}
+	// Output:
+	// K20
+	// TitanX
+	// TitanV
+}
+
+// Altitude scaling follows atmospheric depth up to the Pfotzer maximum.
+func ExampleAtAltitude() {
+	leadville := neutronsim.Leadville()
+	fmt.Printf("Leadville fast-flux acceleration: %.1fx\n",
+		leadville.FastFluxPerHour/neutronsim.NYC().FastFluxPerHour)
+	// Output:
+	// Leadville fast-flux acceleration: 12.9x
+}

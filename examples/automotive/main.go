@@ -1,0 +1,62 @@
+// Automotive: the paper's motivating corner case — a COTS GPU running a
+// CNN object detector in an autonomous vehicle. The road is concrete, the
+// weather changes, and reliability must be paramount: this example
+// computes how the SDC/DUE rates of a TitanX running YOLO move between a
+// sunny and a rainy day.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutronsim"
+)
+
+func main() {
+	gpu, err := neutronsim.DeviceByName("TitanX")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vehicle compute: %s (%s) running YOLO object detection\n\n",
+		gpu.Name, gpu.Process)
+
+	// Only the CNN matters for the driving stack.
+	assessment, err := neutronsim.Assess(gpu, []string{"YOLO"}, neutronsim.QuickBudget(), 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdcRatio, _, _ := assessment.SDCRatio()
+	fmt.Printf("measured fast:thermal SDC ratio: %.1f\n", sdcRatio)
+	fmt.Println("(every thermal neutron matters ~1/3 as much as a fast one for this part)")
+
+	// A city street: concrete road surface, no water cooling.
+	street := neutronsim.Environment{Location: neutronsim.NYC(), ConcreteFloor: true}
+	rainy := street
+	rainy.Raining = true
+
+	fmt.Printf("\n%-8s %12s %12s %12s %14s\n", "weather", "SDC FIT", "DUE FIT", "total FIT", "thermal share")
+	var dry, wet neutronsim.FIT
+	for _, sc := range []struct {
+		name string
+		env  neutronsim.Environment
+	}{{"sunny", street}, {"rainy", rainy}} {
+		rep, err := assessment.FIT(sc.env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := rep.Total()
+		thermalShare := float64(rep.SDC.Thermal+rep.DUE.Thermal) / float64(total)
+		fmt.Printf("%-8s %12.4g %12.4g %12.4g %13.1f%%\n",
+			sc.name, float64(rep.SDC.Total()), float64(rep.DUE.Total()),
+			float64(total), thermalShare*100)
+		if sc.name == "sunny" {
+			dry = total
+		} else {
+			wet = total
+		}
+	}
+	fmt.Printf("\nrain raises the error rate by %.1f%% — the paper's point:\n",
+		(float64(wet)/float64(dry)-1)*100)
+	fmt.Println("the thermal flux, unlike the fast flux, depends on the weather and")
+	fmt.Println("the materials around the device, so a fleet's error rate does too.")
+}

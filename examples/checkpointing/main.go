@@ -1,0 +1,68 @@
+// Checkpointing: the paper closes §VI by suggesting that "the checkpoint
+// frequency may need to consider weather conditions" — rain doubles the
+// thermal-neutron flux, raising the DUE rate of thermally sensitive
+// machines. This example measures a device, scales it to a full machine,
+// and plans a week of weather-aware checkpoint intervals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutronsim"
+	"neutronsim/internal/checkpoint"
+)
+
+func main() {
+	// The APU is the catalog's most thermally DUE-sensitive part.
+	apu, err := neutronsim.DeviceByName("APU-CPU+GPU")
+	if err != nil {
+		log.Fatal(err)
+	}
+	assessment, err := neutronsim.Assess(apu, nil, neutronsim.QuickBudget(), 51)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	site := neutronsim.AtAltitude("Los Alamos, NM", 2231)
+	sunny, err := assessment.FIT(neutronsim.DataCenter(site))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rainyEnv := neutronsim.DataCenter(site)
+	rainyEnv.Raining = true
+	rainy, err := assessment.FIT(rainyEnv)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const nodes = 9000
+	sunnyDUE := neutronsim.FIT(float64(sunny.DUE.Total()) * nodes)
+	rainyDUE := neutronsim.FIT(float64(rainy.DUE.Total()) * nodes)
+	fmt.Printf("machine: %d × %s at %s\n", nodes, apu.Name, site.Name)
+	fmt.Printf("system DUE rate: %.3g FIT sunny → %.3g FIT rainy (+%.0f%%)\n\n",
+		float64(sunnyDUE), float64(rainyDUE),
+		(float64(rainyDUE)/float64(sunnyDUE)-1)*100)
+
+	week := []checkpoint.Day{
+		{Raining: false}, {Raining: false}, {Raining: true}, {Raining: true},
+		{Raining: true}, {Raining: false}, {Raining: false},
+	}
+	plan, err := checkpoint.PlanSchedule(sunnyDUE, rainyDUE, 1800, week)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-5s %-8s %10s %16s %10s\n", "day", "weather", "MTBF [h]", "interval [min]", "waste")
+	for i, d := range plan.Days {
+		weather := "sunny"
+		if d.Raining {
+			weather = "rainy"
+		}
+		fmt.Printf("%-5d %-8s %10.0f %16.0f %9.1f%%\n",
+			i+1, weather, d.MTBFSeconds/3600, d.IntervalSeconds/60, d.AdaptiveWaste*100)
+	}
+	fmt.Printf("\nweek mean waste: adaptive %.2f%% vs static %.2f%% (saving %.3f%%)\n",
+		plan.MeanAdaptiveWaste*100, plan.MeanStaticWaste*100, plan.Savings()*100)
+	fmt.Println("the optimum is flat, so the saving is modest — but on rainy days")
+	fmt.Println("the machine should checkpoint measurably more often.")
+}

@@ -1,0 +1,75 @@
+// Datacenter: a Trinity-like supercomputer at Los Alamos altitude. The
+// example shows the two environment effects the paper measured — node
+// placement near water-cooling loops and the concrete machine-room slab —
+// and the memory story: DDR4 fleets, rainy days, and what SECDED buys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neutronsim"
+)
+
+func main() {
+	// Los Alamos sits at ~2231 m; the site flux dwarfs sea level.
+	site := neutronsim.AtAltitude("Los Alamos, NM", 2231)
+	fmt.Printf("site: %s — fast %.0f n/cm²/h, thermal (bare) %.0f n/cm²/h\n\n",
+		site.Name, site.FastFluxPerHour, site.ThermalFluxPerHour)
+
+	// Assess the compute device once; reuse it for every node position.
+	phi, err := neutronsim.DeviceByName("XeonPhi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	assessment, err := neutronsim.Assess(phi, nil, neutronsim.QuickBudget(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Node positions: away from the cooling loops vs right next to them.
+	positions := []struct {
+		name string
+		env  neutronsim.Environment
+	}{
+		{"dry aisle (concrete only)", neutronsim.Environment{Location: site, ConcreteFloor: true}},
+		{"next to cooling pipes", neutronsim.DataCenter(site)},
+	}
+	fmt.Println("per-node accelerator failure rates:")
+	for _, p := range positions {
+		rep, err := assessment.FIT(p.env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s total %8.4g FIT  (thermal share SDC %.1f%%, DUE %.1f%%)\n",
+			p.name, float64(rep.Total()),
+			rep.SDC.ThermalShare()*100, rep.DUE.ThermalShare()*100)
+	}
+
+	// The memory fleet: measure DDR4 per-Gbit sensitivity at ROTAX, then
+	// project the full 2 PB system, with and without SECDED.
+	fmt.Println("\nmemory fleet (2070 TB DDR4):")
+	mem, err := neutronsim.RunMemoryCampaign(neutronsim.DDR4Module(), 40, true, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  measured σ/Gbit = %.3g cm² (%d events)\n", mem.SigmaPerGbit.Rate, mem.Events)
+
+	rows, err := neutronsim.ProjectTop10(neutronsim.Top10(),
+		map[neutronsim.MemoryGeneration]neutronsim.CrossSection{
+			neutronsim.DDR3: neutronsim.CrossSection(mem.SigmaPerGbit.Rate * 10), // paper: DDR3 ≈ 10× DDR4
+			neutronsim.DDR4: neutronsim.CrossSection(mem.SigmaPerGbit.Rate),
+		}, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Machine.Name != "Trinity" {
+			continue
+		}
+		fmt.Printf("  Trinity DDR thermal FIT: %v (rainy day %v, with SECDED %v)\n",
+			r.ThermalFIT, r.RainyDayFIT, r.WithECC)
+		fmt.Printf("  i.e. one thermal-neutron memory event every %.1f h on a dry day\n",
+			r.ThermalFIT.MTBF())
+	}
+}

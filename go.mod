@@ -1,0 +1,3 @@
+module neutronsim
+
+go 1.22

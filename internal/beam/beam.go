@@ -1,0 +1,325 @@
+// Package beam implements the accelerated radiation-test campaigns of the
+// paper (§III-C): a device executing a benchmark is aligned with a beamline
+// (ChipIR for high-energy neutrons, ROTAX for thermals), errors are counted
+// against golden outputs, and cross sections are computed as
+// errors/fluence with Poisson 95% confidence intervals.
+package beam
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/faultinject"
+	"neutronsim/internal/physics"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+	"neutronsim/internal/stats"
+	"neutronsim/internal/units"
+	"neutronsim/internal/workload"
+)
+
+// Config describes one campaign: one device, one benchmark, one beamline.
+type Config struct {
+	Device       *device.Device
+	WorkloadName string
+	Beam         spectrum.Spectrum
+	// DurationSeconds is the total beam time.
+	DurationSeconds float64
+	// RunSeconds is the beam time covered by one workload execution. When
+	// zero, it is auto-tuned so a run rarely sees more than one fault —
+	// the same error-pile-up control a beam operator applies — capped at
+	// 1 s.
+	RunSeconds float64
+	// Derating scales the flux for boards placed off the beam axis when
+	// several boards share the ChipIR beam (default 1; §III-C).
+	Derating float64
+	// Seed makes the campaign reproducible.
+	Seed uint64
+	// CalSamples sets the Monte Carlo budget for the interaction-rate
+	// estimate (default 20000).
+	CalSamples int
+	// Injector tuning.
+	Inject faultinject.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Derating <= 0 {
+		c.Derating = 1
+	}
+	if c.CalSamples <= 0 {
+		c.CalSamples = 20000
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Device == nil:
+		return errors.New("beam: nil device")
+	case c.Beam == nil:
+		return errors.New("beam: nil beam spectrum")
+	case c.WorkloadName == "":
+		return errors.New("beam: missing workload name")
+	case c.DurationSeconds <= 0:
+		return errors.New("beam: non-positive duration")
+	case c.Derating > 1:
+		return errors.New("beam: derating cannot exceed 1")
+	}
+	return c.Device.Validate()
+}
+
+// Result is the outcome of one campaign.
+type Result struct {
+	Device   string
+	Workload string
+	Beam     string
+
+	Runs    int
+	Fluence units.Fluence // derated total fluence
+
+	SDC    int64
+	DUE    int64
+	Masked int64
+	// Upsets counts raw device faults before workload masking.
+	Upsets int64
+	// FaultsByBand attributes upsets to the neutron band that caused them.
+	FaultsByBand map[physics.EnergyBand]int64
+	// Reprograms counts FPGA bitstream reloads after observed errors.
+	Reprograms int64
+
+	// Cross sections (cm² per device) with Poisson 95% CIs.
+	SDCCrossSection stats.RateEstimate
+	DUECrossSection stats.RateEstimate
+}
+
+// interactionSampler resamples neutron energies conditioned on having
+// interacted in the device, using a p(E)-weighted empirical table.
+type interactionSampler struct {
+	energies []units.Energy
+	cum      []float64
+	meanP    float64
+}
+
+func buildInteractionSampler(d *device.Device, sp spectrum.Spectrum, n int, s *rng.Stream) *interactionSampler {
+	is := &interactionSampler{
+		energies: make([]units.Energy, n),
+		cum:      make([]float64, n),
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		e := sp.Sample(s)
+		p := d.InteractionProbability(e)
+		is.energies[i] = e
+		sum += p
+		is.cum[i] = sum
+	}
+	is.meanP = sum / float64(n)
+	return is
+}
+
+// sample draws an interacting energy (weighted by interaction probability).
+func (is *interactionSampler) sample(s *rng.Stream) units.Energy {
+	total := is.cum[len(is.cum)-1]
+	if total <= 0 {
+		return is.energies[s.Intn(len(is.energies))]
+	}
+	u := s.Float64() * total
+	i := sort.SearchFloat64s(is.cum, u)
+	if i >= len(is.energies) {
+		i = len(is.energies) - 1
+	}
+	return is.energies[i]
+}
+
+// Run executes the campaign and reports counts and cross sections.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w, err := workload.New(cfg.WorkloadName)
+	if err != nil {
+		return nil, err
+	}
+	s := rng.New(cfg.Seed)
+	inj, err := faultinject.NewInjector(w, cfg.Seed, cfg.Inject)
+	if err != nil {
+		return nil, err
+	}
+	sampler := buildInteractionSampler(cfg.Device, cfg.Beam, cfg.CalSamples, s.Split())
+
+	flux := float64(cfg.Beam.TotalFlux()) * cfg.Derating
+	area := cfg.Device.DieAreaCm2
+	ratePerSecond := flux * area * sampler.meanP
+	runSeconds := cfg.RunSeconds
+	if runSeconds <= 0 {
+		// Auto-tune so that a run rarely collects more than one fault
+		// (λ ≈ 0.05), bounded to keep run counts tractable.
+		runSeconds = 1
+		if ratePerSecond > 0.05 {
+			runSeconds = 0.05 / ratePerSecond
+		}
+		if got := cfg.DurationSeconds / runSeconds; got > 2e6 {
+			runSeconds = cfg.DurationSeconds / 2e6
+		}
+	}
+	// Expected device interactions per run.
+	lambda := ratePerSecond * runSeconds
+
+	res := &Result{
+		Device:       cfg.Device.Name,
+		Workload:     cfg.WorkloadName,
+		Beam:         cfg.Beam.Name(),
+		FaultsByBand: map[physics.EnergyBand]int64{},
+	}
+	runs := int(cfg.DurationSeconds / runSeconds)
+	if runs < 1 {
+		runs = 1
+	}
+	res.Runs = runs
+	res.Fluence = units.Fluence(flux * runSeconds * float64(runs))
+
+	steps := w.Steps()
+	// FPGA configuration corruption persists across runs until an output
+	// error is seen and the bitstream is reloaded (§V).
+	var persistent []faultinject.Timed
+	for r := 0; r < runs; r++ {
+		nInt := s.Poisson(lambda)
+		var faults []faultinject.Timed
+		faults = append(faults, persistent...)
+		for k := int64(0); k < nInt; k++ {
+			e := sampler.sample(s)
+			f, upset := cfg.Device.InteractionUpset(e, s)
+			if !upset {
+				continue
+			}
+			res.Upsets++
+			res.FaultsByBand[f.Band]++
+			tf := faultinject.Timed{Step: s.Intn(steps), Fault: f}
+			faults = append(faults, tf)
+			if f.Target == device.TargetConfig {
+				tf.Step = 0 // a corrupted bitstream affects the whole run
+				persistent = append(persistent, tf)
+			}
+		}
+		if len(faults) == 0 {
+			res.Masked++
+			continue
+		}
+		switch inj.Run(faults, s).Outcome {
+		case faultinject.OutcomeSDC:
+			res.SDC++
+			if len(persistent) > 0 {
+				persistent = persistent[:0] // reprogram the FPGA
+				res.Reprograms++
+			}
+		case faultinject.OutcomeDUE:
+			res.DUE++
+			if len(persistent) > 0 {
+				persistent = persistent[:0]
+				res.Reprograms++
+			}
+		default:
+			res.Masked++
+		}
+	}
+	if res.SDCCrossSection, err = stats.EstimateRate(res.SDC, float64(res.Fluence)); err != nil {
+		return nil, err
+	}
+	if res.DUECrossSection, err = stats.EstimateRate(res.DUE, float64(res.Fluence)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s @ %s: runs=%d fluence=%s SDC=%d (σ=%.3g cm²) DUE=%d (σ=%.3g cm²)",
+		r.Device, r.Workload, r.Beam, r.Runs, r.Fluence,
+		r.SDC, r.SDCCrossSection.Rate, r.DUE, r.DUECrossSection.Rate)
+}
+
+// Pair holds the matched ChipIR/ROTAX measurements for one device and
+// workload, mirroring the paper's same-device-same-setup methodology.
+type Pair struct {
+	Fast    *Result
+	Thermal *Result
+}
+
+// SDCRatio returns the fast:thermal SDC cross-section ratio with an
+// approximate 95% interval.
+func (p Pair) SDCRatio() (ratio, lo, hi float64) {
+	return stats.RatioCI(p.Fast.SDCCrossSection, p.Thermal.SDCCrossSection)
+}
+
+// DUERatio returns the fast:thermal DUE cross-section ratio with an
+// approximate 95% interval.
+func (p Pair) DUERatio() (ratio, lo, hi float64) {
+	return stats.RatioCI(p.Fast.DUECrossSection, p.Thermal.DUECrossSection)
+}
+
+// RunPair runs the same device and workload on both beamlines — exactly
+// the paper's protocol ("we irradiate the same physical devices executing
+// the codes with the same input both in ROTAX and in ChipIR").
+func RunPair(d *device.Device, workloadName string, fastSeconds, thermalSeconds float64, seed uint64) (Pair, error) {
+	fast, err := Run(Config{
+		Device:          d,
+		WorkloadName:    workloadName,
+		Beam:            spectrum.ChipIR(),
+		DurationSeconds: fastSeconds,
+		Seed:            seed,
+	})
+	if err != nil {
+		return Pair{}, fmt.Errorf("beam: ChipIR campaign: %w", err)
+	}
+	thermal, err := Run(Config{
+		Device:          d,
+		WorkloadName:    workloadName,
+		Beam:            spectrum.ROTAX(),
+		DurationSeconds: thermalSeconds,
+		Seed:            seed + 1,
+	})
+	if err != nil {
+		return Pair{}, fmt.Errorf("beam: ROTAX campaign: %w", err)
+	}
+	return Pair{Fast: fast, Thermal: thermal}, nil
+}
+
+// Merge combines campaign results from multiple workloads on one device
+// into device-average counts (the averages of Fig. cs_ratio).
+func Merge(results []*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, errors.New("beam: nothing to merge")
+	}
+	out := &Result{
+		Device:       results[0].Device,
+		Workload:     "average",
+		Beam:         results[0].Beam,
+		FaultsByBand: map[physics.EnergyBand]int64{},
+	}
+	for _, r := range results {
+		if r.Device != out.Device || r.Beam != out.Beam {
+			return nil, errors.New("beam: merge requires same device and beam")
+		}
+		out.Runs += r.Runs
+		out.Fluence += r.Fluence
+		out.SDC += r.SDC
+		out.DUE += r.DUE
+		out.Masked += r.Masked
+		out.Upsets += r.Upsets
+		out.Reprograms += r.Reprograms
+		for b, n := range r.FaultsByBand {
+			out.FaultsByBand[b] += n
+		}
+	}
+	var err error
+	if out.SDCCrossSection, err = stats.EstimateRate(out.SDC, float64(out.Fluence)); err != nil {
+		return nil, err
+	}
+	if out.DUECrossSection, err = stats.EstimateRate(out.DUE, float64(out.Fluence)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package beam
+
+import (
+	"errors"
+	"math"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+)
+
+// Configuration-memory scrubbing. The paper's FPGA protocol reprograms the
+// bitstream only after an observed output error (§V); production SRAM-FPGA
+// systems instead scrub the configuration periodically so latent upsets
+// cannot accumulate. This model quantifies the trade-off.
+//
+// Upsets hit configuration bits at rate λ. A fraction c of them lands on
+// essential bits and corrupts the output immediately — scrubbing cannot
+// prevent those. The remaining (1-c) accumulate silently; a new upset can
+// interact with the latent population (routing conflicts, voter defeats in
+// TMR designs), producing second-order failures at rate κ·λ·N(t), where
+// N(t) is the latent count since the last scrub.
+type ScrubModel struct {
+	// UpsetRatePerSec is the configuration upset rate λ.
+	UpsetRatePerSec float64
+	// CriticalFraction is the share of upsets that are immediately
+	// critical (essential bits).
+	CriticalFraction float64
+	// InteractionCoeff is κ, the per-(upset × latent) interaction
+	// probability.
+	InteractionCoeff float64
+	// ScrubSeconds is the time one scrub cycle takes (the fabric is
+	// unavailable, or at least suspect, while it runs).
+	ScrubSeconds float64
+	// RecoverySeconds is the cost of one output error: detection, full
+	// reconfiguration, and recomputation.
+	RecoverySeconds float64
+}
+
+// Validate checks the model.
+func (m ScrubModel) Validate() error {
+	switch {
+	case m.UpsetRatePerSec <= 0:
+		return errors.New("beam: non-positive upset rate")
+	case m.CriticalFraction < 0 || m.CriticalFraction > 1:
+		return errors.New("beam: critical fraction out of [0,1]")
+	case m.InteractionCoeff < 0:
+		return errors.New("beam: negative interaction coefficient")
+	case m.ScrubSeconds <= 0:
+		return errors.New("beam: non-positive scrub time")
+	case m.RecoverySeconds <= 0:
+		return errors.New("beam: non-positive recovery time")
+	}
+	return nil
+}
+
+// ErrorRate returns the expected output-error rate (per second) when the
+// configuration is scrubbed every periodSeconds: the irreducible critical
+// rate plus the second-order rate from the average latent population
+// λ(1-c)·T/2.
+func (m ScrubModel) ErrorRate(periodSeconds float64) float64 {
+	if periodSeconds <= 0 {
+		return math.Inf(1)
+	}
+	lambda := m.UpsetRatePerSec
+	latentAvg := lambda * (1 - m.CriticalFraction) * periodSeconds / 2
+	return lambda*m.CriticalFraction + m.InteractionCoeff*lambda*latentAvg
+}
+
+// Unavailability returns the long-run fraction of time lost to scrubbing
+// overhead plus error recovery at the given scrub period.
+func (m ScrubModel) Unavailability(periodSeconds float64) float64 {
+	if periodSeconds <= 0 {
+		return 1
+	}
+	u := m.ScrubSeconds/periodSeconds + m.ErrorRate(periodSeconds)*m.RecoverySeconds
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// OptimalPeriod returns the scrub period minimizing Unavailability:
+// T* = sqrt(2·δ / (κ·λ²·(1-c)·R)). When second-order failures are
+// impossible (κ = 0 or c = 1), scrubbing buys nothing and the period is
+// +Inf.
+func (m ScrubModel) OptimalPeriod() float64 {
+	k := m.InteractionCoeff * m.UpsetRatePerSec * m.UpsetRatePerSec *
+		(1 - m.CriticalFraction) * m.RecoverySeconds / 2
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(m.ScrubSeconds / k)
+}
+
+// ConfigUpsetRate estimates an FPGA's configuration-memory upset rate (per
+// second) in the given neutron field by Monte Carlo: the device's upset
+// cross section restricted to TargetConfig faults, times the flux.
+func ConfigUpsetRate(d *device.Device, sp spectrum.Spectrum, n int, s *rng.Stream) (float64, error) {
+	if d == nil || sp == nil {
+		return 0, errors.New("beam: nil device or spectrum")
+	}
+	if !d.ConfigMemory {
+		return 0, errors.New("beam: device has no configuration memory")
+	}
+	if n <= 0 {
+		return 0, errors.New("beam: sample count must be positive")
+	}
+	if s == nil {
+		return 0, errors.New("beam: nil rng stream")
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		e := sp.Sample(s)
+		p := d.InteractionProbability(e)
+		if p == 0 {
+			continue
+		}
+		if f, ok := d.InteractionUpset(e, s); ok && f.Target == device.TargetConfig {
+			sum += p
+		}
+	}
+	sigmaConfig := sum / float64(n) * d.DieAreaCm2 // cm² per device
+	return sigmaConfig * float64(sp.TotalFlux()), nil
+}
+
+// PlanDuration estimates the beam seconds needed for a campaign on the
+// device to reach the target relative width of the 95% Poisson interval on
+// its error count (e.g. 0.4 for ±20%). It runs a short pilot estimate of
+// the device's upset cross section against the beam. This is how beam time
+// at a facility is budgeted.
+func PlanDuration(d *device.Device, sp spectrum.Spectrum, targetRelWidth float64, pilotSamples int, s *rng.Stream) (float64, error) {
+	if d == nil || sp == nil {
+		return 0, errors.New("beam: nil device or spectrum")
+	}
+	if targetRelWidth <= 0 || targetRelWidth >= 4 {
+		return 0, errors.New("beam: target relative width out of (0,4)")
+	}
+	if pilotSamples <= 0 {
+		pilotSamples = 20000
+	}
+	if s == nil {
+		return 0, errors.New("beam: nil rng stream")
+	}
+	sigma, err := d.UpsetCrossSection(sp.Sample, pilotSamples, s)
+	if err != nil {
+		return 0, err
+	}
+	if sigma <= 0 {
+		return 0, errors.New("beam: device shows no sensitivity to this beam")
+	}
+	// Poisson 95% CI relative width ≈ 2·1.96/sqrt(N).
+	needed := math.Pow(2*1.96/targetRelWidth, 2)
+	ratePerSecond := float64(sigma) * float64(sp.TotalFlux())
+	return needed / ratePerSecond, nil
+}

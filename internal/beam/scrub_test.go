@@ -1,0 +1,193 @@
+package beam
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+)
+
+func demoScrubModel() ScrubModel {
+	return ScrubModel{
+		UpsetRatePerSec:  1e-3,
+		CriticalFraction: 0.1,
+		InteractionCoeff: 0.05,
+		ScrubSeconds:     2,
+		RecoverySeconds:  120,
+	}
+}
+
+func TestScrubModelValidate(t *testing.T) {
+	good := demoScrubModel()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := []func(*ScrubModel){
+		func(m *ScrubModel) { m.UpsetRatePerSec = 0 },
+		func(m *ScrubModel) { m.CriticalFraction = -0.1 },
+		func(m *ScrubModel) { m.CriticalFraction = 1.5 },
+		func(m *ScrubModel) { m.InteractionCoeff = -1 },
+		func(m *ScrubModel) { m.ScrubSeconds = 0 },
+		func(m *ScrubModel) { m.RecoverySeconds = 0 },
+	}
+	for i, mutate := range bad {
+		m := demoScrubModel()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestErrorRateGrowsWithPeriod(t *testing.T) {
+	m := demoScrubModel()
+	if m.ErrorRate(10) >= m.ErrorRate(1000) {
+		t.Error("longer scrub periods must raise the error rate")
+	}
+	// The critical rate is the floor.
+	floor := m.UpsetRatePerSec * m.CriticalFraction
+	if got := m.ErrorRate(1e-6); math.Abs(got-floor)/floor > 0.01 {
+		t.Errorf("tiny period error rate %v, want ~%v", got, floor)
+	}
+	if !math.IsInf(m.ErrorRate(0), 1) {
+		t.Error("zero period should be infinite")
+	}
+}
+
+func TestOptimalPeriodMinimizesUnavailability(t *testing.T) {
+	m := demoScrubModel()
+	opt := m.OptimalPeriod()
+	if math.IsInf(opt, 1) || opt <= 0 {
+		t.Fatalf("optimal period = %v", opt)
+	}
+	u := m.Unavailability(opt)
+	for _, factor := range []float64{0.3, 0.7, 1.5, 3} {
+		if m.Unavailability(opt*factor) < u-1e-12 {
+			t.Errorf("period %v beats the optimum %v", opt*factor, opt)
+		}
+	}
+}
+
+func TestOptimalPeriodProperty(t *testing.T) {
+	f := func(rawRate, rawScrub float64) bool {
+		m := demoScrubModel()
+		m.UpsetRatePerSec = 1e-5 + math.Abs(math.Mod(rawRate, 0.01))
+		m.ScrubSeconds = 0.5 + math.Abs(math.Mod(rawScrub, 10))
+		opt := m.OptimalPeriod()
+		if math.IsInf(opt, 1) {
+			return true
+		}
+		u := m.Unavailability(opt)
+		return u <= m.Unavailability(opt*1.3)+1e-12 && u <= m.Unavailability(opt/1.3)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHarsherBeamNeedsFasterScrubbing(t *testing.T) {
+	m := demoScrubModel()
+	harsh := m
+	harsh.UpsetRatePerSec *= 10
+	if harsh.OptimalPeriod() >= m.OptimalPeriod() {
+		t.Error("10x upset rate should shorten the optimal scrub period")
+	}
+}
+
+func TestNoSecondOrderMeansNoScrubbing(t *testing.T) {
+	m := demoScrubModel()
+	m.InteractionCoeff = 0
+	if !math.IsInf(m.OptimalPeriod(), 1) {
+		t.Error("without interactions, scrubbing buys nothing")
+	}
+	m = demoScrubModel()
+	m.CriticalFraction = 1
+	if !math.IsInf(m.OptimalPeriod(), 1) {
+		t.Error("all-critical upsets cannot be prevented by scrubbing")
+	}
+}
+
+func TestConfigUpsetRate(t *testing.T) {
+	s := rng.New(1)
+	d := device.FPGA()
+	d.SensitiveFraction = 1 // statistics for the unit test
+	rate, err := ConfigUpsetRate(d, spectrum.ROTAX(), 100000, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Error("FPGA at ROTAX should accumulate config upsets")
+	}
+	// Boron-free FPGA sees nothing at a thermal beam.
+	free := device.BoronFree(device.FPGA())
+	free.ConfigMemory = true
+	rate0, err := ConfigUpsetRate(free, spectrum.ROTAX(), 20000, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate0 != 0 {
+		t.Errorf("boron-free config upset rate = %v", rate0)
+	}
+}
+
+func TestConfigUpsetRateValidation(t *testing.T) {
+	s := rng.New(2)
+	if _, err := ConfigUpsetRate(nil, spectrum.ROTAX(), 10, s); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := ConfigUpsetRate(device.K20(), spectrum.ROTAX(), 10, s); err == nil {
+		t.Error("non-FPGA device accepted")
+	}
+	if _, err := ConfigUpsetRate(device.FPGA(), spectrum.ROTAX(), 0, s); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := ConfigUpsetRate(device.FPGA(), spectrum.ROTAX(), 10, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestPlanDuration(t *testing.T) {
+	s := rng.New(3)
+	d := device.K20()
+	// ±20% target takes 4x the beam time of ±40%.
+	t20, err := PlanDuration(d, spectrum.ROTAX(), 0.4, 30000, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t40, err := PlanDuration(d, spectrum.ROTAX(), 0.8, 30000, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := t20 / t40
+	if ratio < 3 || ratio > 5.5 {
+		t.Errorf("halving the width should ~4x the time: ratio %v", ratio)
+	}
+	// ROTAX on a thermally insensitive device takes far longer than on a
+	// sensitive one.
+	tPhi, err := PlanDuration(device.XeonPhi(), spectrum.ROTAX(), 0.4, 30000, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tPhi <= t20 {
+		t.Errorf("XeonPhi (%v s) should need more ROTAX time than K20 (%v s)", tPhi, t20)
+	}
+}
+
+func TestPlanDurationValidation(t *testing.T) {
+	s := rng.New(4)
+	if _, err := PlanDuration(nil, spectrum.ROTAX(), 0.4, 10, s); err == nil {
+		t.Error("nil device accepted")
+	}
+	if _, err := PlanDuration(device.K20(), spectrum.ROTAX(), 0, 10, s); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := PlanDuration(device.K20(), spectrum.ROTAX(), 0.4, 10, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+	if _, err := PlanDuration(device.BoronFree(device.K20()), spectrum.ROTAX(), 0.4, 5000, s); err == nil {
+		t.Error("insensitive device should error (infinite beam time)")
+	}
+}

@@ -1,0 +1,148 @@
+// Package checkpoint turns the failure rates produced by the fit engine
+// into checkpoint/restart policy, implementing the paper's closing
+// observation (§VI): "when supercomputer time is allocated, the checkpoint
+// frequency may need to consider weather conditions" — because rain
+// doubles the thermal-neutron flux and with it the DUE rate.
+//
+// The model is the classic Young/Daly first-order optimum with the
+// standard waste accounting: an application that checkpoints every tau
+// seconds at cost delta, on a machine with MTBF M, wastes approximately
+// delta/tau (checkpoint overhead) + tau/(2M) (lost work per failure).
+package checkpoint
+
+import (
+	"errors"
+	"math"
+
+	"neutronsim/internal/units"
+)
+
+// YoungInterval returns the first-order optimal checkpoint interval
+// tau = sqrt(2·delta·M) in seconds.
+func YoungInterval(deltaSeconds, mtbfSeconds float64) (float64, error) {
+	if deltaSeconds <= 0 {
+		return 0, errors.New("checkpoint: non-positive checkpoint cost")
+	}
+	if mtbfSeconds <= 0 {
+		return 0, errors.New("checkpoint: non-positive MTBF")
+	}
+	return math.Sqrt(2 * deltaSeconds * mtbfSeconds), nil
+}
+
+// DalyInterval returns Daly's higher-order refinement of the optimal
+// interval, valid for delta < 2M:
+//
+//	tau = sqrt(2·delta·M) · [1 + (1/3)·sqrt(delta/(2M)) + (delta/(2M))/9] − delta
+//
+// For delta >= 2M the machine fails faster than it checkpoints; the
+// returned interval degenerates to M (checkpoint constantly).
+func DalyInterval(deltaSeconds, mtbfSeconds float64) (float64, error) {
+	if deltaSeconds <= 0 {
+		return 0, errors.New("checkpoint: non-positive checkpoint cost")
+	}
+	if mtbfSeconds <= 0 {
+		return 0, errors.New("checkpoint: non-positive MTBF")
+	}
+	if deltaSeconds >= 2*mtbfSeconds {
+		return mtbfSeconds, nil
+	}
+	x := deltaSeconds / (2 * mtbfSeconds)
+	tau := math.Sqrt(2*deltaSeconds*mtbfSeconds)*(1+math.Sqrt(x)/3+x/9) - deltaSeconds
+	if tau <= 0 {
+		tau = mtbfSeconds
+	}
+	return tau, nil
+}
+
+// Waste returns the expected fraction of machine time lost to checkpoint
+// overhead plus failure rework for interval tau.
+func Waste(tauSeconds, deltaSeconds, mtbfSeconds float64) float64 {
+	if tauSeconds <= 0 || mtbfSeconds <= 0 {
+		return 1
+	}
+	w := deltaSeconds/tauSeconds + (tauSeconds+deltaSeconds)/(2*mtbfSeconds)
+	if w > 1 {
+		w = 1
+	}
+	return w
+}
+
+// MTBFSeconds converts a DUE FIT rate into seconds between failures.
+func MTBFSeconds(due units.FIT) float64 {
+	return due.MTBF() * 3600
+}
+
+// Day is one day of weather for an adaptive schedule.
+type Day struct {
+	Raining bool
+}
+
+// DayPlan is the policy and cost for one day.
+type DayPlan struct {
+	Raining bool
+	// MTBF in seconds for the day's weather.
+	MTBFSeconds float64
+	// Interval is the adaptively optimal checkpoint period (Daly).
+	IntervalSeconds float64
+	// AdaptiveWaste is the waste using Interval.
+	AdaptiveWaste float64
+	// StaticWaste is the waste if the sunny-day interval is kept.
+	StaticWaste float64
+}
+
+// Plan is a weather-aware checkpoint schedule.
+type Plan struct {
+	Days []DayPlan
+	// SunnyIntervalSeconds is the static policy baseline.
+	SunnyIntervalSeconds float64
+	// MeanAdaptiveWaste and MeanStaticWaste average over the days.
+	MeanAdaptiveWaste float64
+	MeanStaticWaste   float64
+}
+
+// Savings is the absolute waste reduction of the adaptive policy.
+func (p Plan) Savings() float64 { return p.MeanStaticWaste - p.MeanAdaptiveWaste }
+
+// PlanSchedule builds the adaptive schedule for a weather sequence given
+// the machine's DUE rates on dry and rainy days and the checkpoint cost.
+func PlanSchedule(sunnyDUE, rainyDUE units.FIT, deltaSeconds float64, days []Day) (Plan, error) {
+	if len(days) == 0 {
+		return Plan{}, errors.New("checkpoint: empty weather sequence")
+	}
+	if sunnyDUE <= 0 || rainyDUE <= 0 {
+		return Plan{}, errors.New("checkpoint: non-positive DUE rate")
+	}
+	if rainyDUE < sunnyDUE {
+		return Plan{}, errors.New("checkpoint: rainy DUE rate below sunny rate")
+	}
+	mtbfSunny := MTBFSeconds(sunnyDUE)
+	mtbfRainy := MTBFSeconds(rainyDUE)
+	staticTau, err := DalyInterval(deltaSeconds, mtbfSunny)
+	if err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{SunnyIntervalSeconds: staticTau}
+	for _, d := range days {
+		m := mtbfSunny
+		if d.Raining {
+			m = mtbfRainy
+		}
+		tau, err := DalyInterval(deltaSeconds, m)
+		if err != nil {
+			return Plan{}, err
+		}
+		dp := DayPlan{
+			Raining:         d.Raining,
+			MTBFSeconds:     m,
+			IntervalSeconds: tau,
+			AdaptiveWaste:   Waste(tau, deltaSeconds, m),
+			StaticWaste:     Waste(staticTau, deltaSeconds, m),
+		}
+		plan.Days = append(plan.Days, dp)
+		plan.MeanAdaptiveWaste += dp.AdaptiveWaste
+		plan.MeanStaticWaste += dp.StaticWaste
+	}
+	plan.MeanAdaptiveWaste /= float64(len(days))
+	plan.MeanStaticWaste /= float64(len(days))
+	return plan, nil
+}

@@ -1,0 +1,150 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neutronsim/internal/units"
+)
+
+func TestYoungInterval(t *testing.T) {
+	// delta=60s, M=24h: tau = sqrt(2*60*86400) ≈ 3221 s.
+	tau, err := YoungInterval(60, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-3221) > 2 {
+		t.Errorf("Young interval = %v, want ~3221", tau)
+	}
+}
+
+func TestYoungValidation(t *testing.T) {
+	if _, err := YoungInterval(0, 100); err == nil {
+		t.Error("zero delta accepted")
+	}
+	if _, err := YoungInterval(60, 0); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+}
+
+func TestDalyCloseToYoungForSmallDelta(t *testing.T) {
+	young, _ := YoungInterval(10, 1e6)
+	daly, err := DalyInterval(10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(daly-young)/young > 0.01 {
+		t.Errorf("Daly %v should approach Young %v for delta << M", daly, young)
+	}
+}
+
+func TestDalyDegenerate(t *testing.T) {
+	tau, err := DalyInterval(1000, 400) // delta >= 2M
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 400 {
+		t.Errorf("degenerate Daly = %v, want MTBF", tau)
+	}
+}
+
+func TestDalyValidation(t *testing.T) {
+	if _, err := DalyInterval(0, 100); err == nil {
+		t.Error("zero delta accepted")
+	}
+	if _, err := DalyInterval(60, -1); err == nil {
+		t.Error("negative MTBF accepted")
+	}
+}
+
+// Property: the Daly interval minimizes waste compared with nearby
+// intervals.
+func TestDalyMinimizesWaste(t *testing.T) {
+	f := func(rawDelta, rawM float64) bool {
+		delta := 1 + math.Abs(math.Mod(rawDelta, 600))
+		m := 1e4 + math.Abs(math.Mod(rawM, 1e7))
+		tau, err := DalyInterval(delta, m)
+		if err != nil || tau <= 0 {
+			return false
+		}
+		w := Waste(tau, delta, m)
+		return w <= Waste(tau*1.5, delta, m)+1e-9 && w <= Waste(tau/1.5, delta, m)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWasteBounds(t *testing.T) {
+	if got := Waste(0, 60, 1000); got != 1 {
+		t.Errorf("degenerate waste = %v", got)
+	}
+	if got := Waste(100, 60, 10); got != 1 {
+		t.Errorf("waste should clamp at 1, got %v", got)
+	}
+	w := Waste(3600, 60, 1e6)
+	if w <= 0 || w >= 0.1 {
+		t.Errorf("healthy machine waste = %v", w)
+	}
+}
+
+func TestMTBFSeconds(t *testing.T) {
+	// 1e6 FIT ⇒ MTBF 1000 h ⇒ 3.6e6 s.
+	if got := MTBFSeconds(units.FIT(1e6)); math.Abs(got-3.6e6) > 1 {
+		t.Errorf("MTBF = %v", got)
+	}
+}
+
+func TestPlanScheduleValidation(t *testing.T) {
+	days := []Day{{false}}
+	if _, err := PlanSchedule(0, 1, 60, days); err == nil {
+		t.Error("zero sunny rate accepted")
+	}
+	if _, err := PlanSchedule(2, 1, 60, days); err == nil {
+		t.Error("rainy rate below sunny accepted")
+	}
+	if _, err := PlanSchedule(1, 2, 60, nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestPlanScheduleAdaptiveWins(t *testing.T) {
+	// A supercomputer-scale aggregate DUE rate: 5e5 FIT sunny (MTBF 2000 h),
+	// rain pushes it up 40%.
+	days := []Day{
+		{false}, {false}, {true}, {true}, {false}, {true}, {false},
+	}
+	plan, err := PlanSchedule(5e5, 7e5, 120, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Days) != 7 {
+		t.Fatalf("%d day plans", len(plan.Days))
+	}
+	if plan.Savings() < 0 {
+		t.Errorf("adaptive policy worse than static: %+v", plan)
+	}
+	for _, d := range plan.Days {
+		if d.Raining && d.IntervalSeconds >= plan.SunnyIntervalSeconds {
+			t.Error("rainy days should checkpoint more often")
+		}
+		if !d.Raining && math.Abs(d.IntervalSeconds-plan.SunnyIntervalSeconds) > 1e-9 {
+			t.Error("sunny days should use the static interval")
+		}
+		if d.AdaptiveWaste > d.StaticWaste+1e-12 {
+			t.Errorf("adaptive waste exceeds static on a day: %+v", d)
+		}
+	}
+}
+
+func TestPlanScheduleAllSunnyNoSavings(t *testing.T) {
+	days := make([]Day, 5)
+	plan, err := PlanSchedule(5e5, 1e6, 120, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Savings() != 0 {
+		t.Errorf("all-sunny savings = %v, want 0", plan.Savings())
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"neutronsim/internal/device"
+)
+
+// AssessMany runs Assess for several devices concurrently with a bounded
+// worker pool. Each device gets its own deterministic seed derived from
+// the base seed and its index, so the results are identical to running the
+// assessments sequentially — parallelism only changes wall-clock time.
+func AssessMany(devices []*device.Device, b Budget, seed uint64, parallelism int) ([]*Assessment, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("core: no devices")
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(devices) {
+		parallelism = len(devices)
+	}
+	results := make([]*Assessment, len(devices))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				a, err := Assess(devices[i], nil, b, DeviceSeed(seed, i))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: %s: %w", devices[i].Name, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = a
+			}
+		}()
+	}
+	for i := range devices {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// DeviceSeed derives the per-device campaign seed used by AssessMany, so
+// sequential callers can reproduce individual entries.
+func DeviceSeed(base uint64, index int) uint64 {
+	return base + uint64(index)*1000
+}

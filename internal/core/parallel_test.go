@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"neutronsim/internal/device"
+)
+
+func TestAssessManyMatchesSequential(t *testing.T) {
+	devices := []*device.Device{device.K20(), device.TitanX()}
+	b := Budget{FastSeconds: 120, ThermalSeconds: 480, Boost: 50}
+	parallel, err := AssessMany(devices, b, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range devices {
+		seq, err := Assess(d, nil, b, DeviceSeed(7, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := parallel[i]
+		if p.FastAvg.SDC != seq.FastAvg.SDC || p.ThermalAvg.DUE != seq.ThermalAvg.DUE {
+			t.Errorf("%s: parallel result differs from sequential", d.Name)
+		}
+	}
+}
+
+func TestAssessManyValidation(t *testing.T) {
+	if _, err := AssessMany(nil, Budget{}, 1, 2); err == nil {
+		t.Error("empty device list accepted")
+	}
+}
+
+func TestAssessManyPropagatesErrors(t *testing.T) {
+	bad := device.K20()
+	bad.Name = "" // fails validation inside the campaign
+	_, err := AssessMany([]*device.Device{device.K20(), bad},
+		Budget{FastSeconds: 60, ThermalSeconds: 60, Boost: 50}, 1, 2)
+	if err == nil {
+		t.Error("invalid device did not surface an error")
+	}
+}
+
+func TestAssessManyDefaultParallelism(t *testing.T) {
+	devices := []*device.Device{device.TitanX()}
+	res, err := AssessMany(devices, Budget{FastSeconds: 120, ThermalSeconds: 300, Boost: 50}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] == nil {
+		t.Error("missing result")
+	}
+}

@@ -1,0 +1,96 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripAllCatalogDevices(t *testing.T) {
+	for _, d := range All() {
+		var buf bytes.Buffer
+		if err := Save(&buf, d); err != nil {
+			t.Fatalf("%s: save: %v", d.Name, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", d.Name, err)
+		}
+		if *back != *d {
+			t.Errorf("%s: round trip changed the model:\n%+v\nvs\n%+v", d.Name, back, d)
+		}
+	}
+}
+
+func TestLoadRejectsInvalidModels(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"garbage", `not json`},
+		{"unknown field", `{"name":"x","technology":"FinFET","kind":"GPU","dieAreaCm2":1,"sensitiveDepthUm":1,"sensitiveFraction":0.001,"qcritFC":1,"surprise":true}`},
+		{"bad technology", `{"name":"x","technology":"vacuum tubes","kind":"GPU","dieAreaCm2":1,"sensitiveDepthUm":1,"sensitiveFraction":0.001,"qcritFC":1}`},
+		{"bad kind", `{"name":"x","technology":"FinFET","kind":"toaster","dieAreaCm2":1,"sensitiveDepthUm":1,"sensitiveFraction":0.001,"qcritFC":1}`},
+		{"fails validation", `{"name":"","technology":"FinFET","kind":"GPU","dieAreaCm2":1,"sensitiveDepthUm":1,"sensitiveFraction":0.001,"qcritFC":1}`},
+		{"zero area", `{"name":"x","technology":"FinFET","kind":"GPU","dieAreaCm2":0,"sensitiveDepthUm":1,"sensitiveFraction":0.001,"qcritFC":1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.json)); err == nil {
+				t.Error("invalid model accepted")
+			}
+		})
+	}
+}
+
+func TestLoadMinimalCustomDevice(t *testing.T) {
+	in := `{
+  "name": "MyASIC",
+  "technology": "FinFET",
+  "kind": "accelerator",
+  "dieAreaCm2": 2.5,
+  "sensitiveDepthUm": 0.3,
+  "sensitiveFraction": 0.001,
+  "boron10PerCm2": 5e13,
+  "qcritFC": 1.2,
+  "qcritSigmaFC": 0.3,
+  "controlFracFast": 0.2,
+  "controlFracThermal": 0.3,
+  "mbuProb": 0.1
+}`
+	d, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "MyASIC" || d.Tech != FinFET || d.Kind != KindAccelerator {
+		t.Errorf("parsed wrong: %+v", d)
+	}
+	if d.Boron10PerCm2 != 5e13 {
+		t.Errorf("boron = %v", d.Boron10PerCm2)
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, nil); err == nil {
+		t.Error("nil device accepted")
+	}
+	bad := K20()
+	bad.DieAreaCm2 = -1
+	if err := Save(&buf, bad); err == nil {
+		t.Error("invalid device accepted")
+	}
+}
+
+func TestSaveIsHumanReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, FPGA()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"name": "Zynq7000"`, `"technology": "planar CMOS"`, `"configMemory": true`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized form missing %q:\n%s", want, out)
+		}
+	}
+}

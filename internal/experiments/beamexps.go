@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"neutronsim/internal/core"
+	"neutronsim/internal/device"
+	"neutronsim/internal/physics"
+	"neutronsim/internal/plot"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+)
+
+// E1Spectra regenerates Fig. 2: the ChipIR and ROTAX spectra on a lethargy
+// scale, with the integral fluxes the paper quotes.
+func E1Spectra(scale Scale, seed uint64) (Table, error) {
+	n := 200000
+	if scale == Full {
+		n = 2000000
+	}
+	s := rng.New(seed)
+	chip := spectrum.ChipIR()
+	rotax := spectrum.ROTAX()
+	hChip, err := spectrum.LethargyHistogram(chip, n, 60, s)
+	if err != nil {
+		return Table{}, err
+	}
+	hRotax, err := spectrum.LethargyHistogram(rotax, n, 60, s)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E1",
+		Title:  "Beamline flux per lethargy (Fig. 2)",
+		Header: []string{"E [eV]", "ChipIR [n/cm²/s/lethargy]", "ROTAX [n/cm²/s/lethargy]"},
+	}
+	plChip := hChip.PerLethargy()
+	plRotax := hRotax.PerLethargy()
+	centers := make([]float64, hChip.Bins())
+	for i := 0; i < hChip.Bins(); i++ {
+		centers[i] = hChip.BinCenter(i)
+		t.Rows = append(t.Rows, []string{
+			f3(centers[i]), f3(plChip[i]), f3(plRotax[i]),
+		})
+	}
+	t.Figures = append(t.Figures, NamedFigure{
+		Name: "spectra",
+		Figure: plot.Chart{
+			Title:  "ChipIR vs ROTAX flux per lethargy (Fig. 2)",
+			XLabel: "neutron energy [eV]",
+			YLabel: "flux per lethargy [n/cm²/s]",
+			LogX:   true,
+			LogY:   true,
+			Series: []plot.Series{
+				{Name: "ChipIR", X: centers, Y: plChip},
+				{Name: "ROTAX", X: centers, Y: plRotax},
+			},
+		},
+	})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("ChipIR flux >10MeV = %.3g n/cm²/s (paper: 5.4e6)",
+			float64(chip.FluxInBand(physics.BandFast))*fracAbove(hChip, 10e6, physics.BandFast)),
+		fmt.Sprintf("ChipIR thermal flux = %.3g n/cm²/s (paper: 4e5)",
+			float64(chip.FluxInBand(physics.BandThermal))),
+		fmt.Sprintf("ROTAX total flux = %.3g n/cm²/s (paper: 2.72e6)",
+			float64(rotax.TotalFlux())),
+		fmt.Sprintf("ChipIR lethargy peak at %.3g eV (fast); ROTAX peak at %.3g eV (thermal)",
+			peakCenter(hChip), peakCenter(hRotax)),
+	)
+	return t, nil
+}
+
+type lethargyHist interface {
+	PerLethargy() []float64
+	BinCenter(int) float64
+	Bins() int
+	IntegralBetween(lo, hi float64) float64
+}
+
+func peakCenter(h lethargyHist) float64 {
+	pl := h.PerLethargy()
+	best, bestV := 0, 0.0
+	for i, v := range pl {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// fracAbove estimates which fraction of the fast-band weight lies above
+// the threshold.
+func fracAbove(h lethargyHist, threshold float64, band physics.EnergyBand) float64 {
+	_ = band
+	above := h.IntegralBetween(threshold, 1e12)
+	fastTotal := h.IntegralBetween(1e6, 1e12)
+	if fastTotal == 0 {
+		return 0
+	}
+	return above / fastTotal
+}
+
+// assessCache memoizes full-catalog assessments: E2, E3 and E7 all consume
+// the same matched campaigns, so one run per (scale, seed) serves all.
+var (
+	assessMu    sync.Mutex
+	assessCache = map[assessKey][]*core.Assessment{}
+)
+
+type assessKey struct {
+	scale Scale
+	seed  uint64
+}
+
+// assessAll runs the matched-campaign assessment for every catalog device.
+func assessAll(scale Scale, seed uint64) ([]*core.Assessment, error) {
+	assessMu.Lock()
+	defer assessMu.Unlock()
+	key := assessKey{scale, seed}
+	if cached, ok := assessCache[key]; ok {
+		return cached, nil
+	}
+	budget := core.QuickBudget()
+	if scale == Full {
+		budget = core.Budget{FastSeconds: 2 * 3600, ThermalSeconds: 20 * 3600, Boost: 10}
+	}
+	out, err := core.AssessMany(device.All(), budget, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	assessCache[key] = out
+	return out, nil
+}
+
+// E2CrossSections regenerates the normalized per-device, per-code cross
+// sections (Fig. 1 and the companion figures). Values are normalized to
+// the lowest cross section of each vendor, exactly as the paper does to
+// avoid leaking absolute business-sensitive numbers.
+func E2CrossSections(scale Scale, seed uint64) (Table, error) {
+	as, err := assessAll(scale, seed)
+	if err != nil {
+		return Table{}, err
+	}
+	// Vendor minima over all (device, workload, beam, type) entries.
+	type entry struct {
+		vendor, device, wl, beam, kind string
+		sigma                          float64
+	}
+	var entries []entry
+	for _, a := range as {
+		for _, wl := range a.Workloads {
+			pair := a.PerWorkload[wl]
+			push := func(beamName, kind string, sigma float64) {
+				entries = append(entries, entry{
+					vendor: a.Device.Vendor, device: a.Device.Name,
+					wl: wl, beam: beamName, kind: kind, sigma: sigma,
+				})
+			}
+			push("ChipIR", "SDC", pair.Fast.SDCCrossSection.Rate)
+			push("ChipIR", "DUE", pair.Fast.DUECrossSection.Rate)
+			push("ROTAX", "SDC", pair.Thermal.SDCCrossSection.Rate)
+			push("ROTAX", "DUE", pair.Thermal.DUECrossSection.Rate)
+		}
+	}
+	vendorMin := map[string]float64{}
+	for _, e := range entries {
+		if e.sigma <= 0 {
+			continue
+		}
+		if m, ok := vendorMin[e.vendor]; !ok || e.sigma < m {
+			vendorMin[e.vendor] = e.sigma
+		}
+	}
+	t := Table{
+		ID:     "E2",
+		Title:  "Normalized cross sections per device and code",
+		Header: []string{"device", "code", "beam", "type", "normalized σ"},
+		Notes: []string{
+			"normalized to each vendor's lowest cross section (paper's convention)",
+		},
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.device != b.device {
+			return a.device < b.device
+		}
+		if a.wl != b.wl {
+			return a.wl < b.wl
+		}
+		if a.beam != b.beam {
+			return a.beam < b.beam
+		}
+		return a.kind < b.kind
+	})
+	for _, e := range entries {
+		min := vendorMin[e.vendor]
+		norm := 0.0
+		if min > 0 {
+			norm = e.sigma / min
+		}
+		t.Rows = append(t.Rows, []string{e.device, e.wl, e.beam, e.kind, f3(norm)})
+	}
+	return t, nil
+}
+
+// E3RatioTable regenerates Fig. cs_ratio: the device-average fast:thermal
+// cross-section ratios for SDCs and DUEs.
+func E3RatioTable(scale Scale, seed uint64) (Table, error) {
+	as, err := assessAll(scale, seed)
+	if err != nil {
+		return Table{}, err
+	}
+	rows := core.RatioTable(as)
+	paper := map[string][2]string{
+		"XeonPhi":     {"10.14", "6.37"},
+		"K20":         {"~2", "~3"},
+		"TitanX":      {"~3", "~7"},
+		"TitanV":      {"~2", "~6"},
+		"APU-CPU":     {"~2.5", "~1.5"},
+		"APU-GPU":     {"~2.5", "~1.25"},
+		"APU-CPU+GPU": {"~2.5", "1.18"},
+		"Zynq7000":    {"2.33", "rare"},
+	}
+	t := Table{
+		ID:     "E3",
+		Title:  "Average cross-section ratio fast:thermal (Fig. cs_ratio)",
+		Header: []string{"device", "SDC ratio", "SDC 95% CI", "DUE ratio", "DUE 95% CI", "paper SDC", "paper DUE"},
+	}
+	for _, r := range rows {
+		p := paper[r.Device]
+		sdc, due := "n/a", "n/a"
+		sdcCI, dueCI := "", ""
+		if !math.IsNaN(r.SDCRatio) {
+			sdc = f3(r.SDCRatio)
+			sdcCI = fmt.Sprintf("[%s, %s]", f3(r.SDCLo), f3(r.SDCHi))
+		}
+		if !math.IsNaN(r.DUERatio) {
+			due = f3(r.DUERatio)
+			dueCI = fmt.Sprintf("[%s, %s]", f3(r.DUELo), f3(r.DUEHi))
+		}
+		t.Rows = append(t.Rows, []string{r.Device, sdc, sdcCI, due, dueCI, p[0], p[1]})
+	}
+	t.Notes = append(t.Notes,
+		"the higher the ratio, the lower the thermal sensitivity relative to fast neutrons",
+	)
+	var labels []string
+	var sdcVals, dueVals []float64
+	for _, r := range rows {
+		if math.IsNaN(r.SDCRatio) || math.IsNaN(r.DUERatio) {
+			continue
+		}
+		labels = append(labels, r.Device)
+		sdcVals = append(sdcVals, r.SDCRatio)
+		dueVals = append(dueVals, r.DUERatio)
+	}
+	if len(labels) > 0 {
+		t.Figures = append(t.Figures, NamedFigure{
+			Name: "ratios",
+			Figure: plot.BarChart{
+				Title:  "Fast:thermal cross-section ratio (Fig. cs_ratio)",
+				YLabel: "ratio",
+				Labels: labels,
+				Groups: []plot.BarGroup{
+					{Name: "SDC", Values: sdcVals},
+					{Name: "DUE", Values: dueVals},
+				},
+			},
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and the quantitative claims embedded in its text), one
+// function per artifact. The cmd/paperfigs binary and the repository's
+// top-level benchmarks are thin wrappers around this package; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"neutronsim/internal/plot"
+)
+
+// Scale selects the statistics budget.
+type Scale int
+
+// Budget scales.
+const (
+	// Quick finishes every experiment in seconds with wide error bars.
+	Quick Scale = iota + 1
+	// Full uses production statistics (minutes of CPU for the campaign
+	// experiments).
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Figures carries renderable SVG figures for experiments that have a
+	// graphical artifact in the paper.
+	Figures []NamedFigure
+}
+
+// NamedFigure pairs a figure with a file-friendly name.
+type NamedFigure struct {
+	Name   string
+	Figure plot.Figure
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Descriptor registers one experiment.
+type Descriptor struct {
+	ID       string
+	Artifact string // the paper figure/table it regenerates
+	Run      func(scale Scale, seed uint64) (Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Descriptor {
+	return []Descriptor{
+		{"E1", "Fig. 2 (beamline spectra, lethargy scale)", E1Spectra},
+		{"E2", "Fig. 1 / cs_xeon_gpus / cs_APU_FPGA (normalized cross sections)", E2CrossSections},
+		{"E3", "Fig. cs_ratio (fast:thermal cross-section ratios)", E3RatioTable},
+		{"E4", "Fig. DDRCS + DDR_errors (DDR taxonomy and cross sections)", E4DDR},
+		{"E5", "Fig. turkeypan (Tin-II water experiment)", E5Detector},
+		{"E6", "Fig. HPC_FIT (Top-10 supercomputer DDR thermal FIT)", E6SupercomputerFIT},
+		{"E7", "Fig. FIT-rates-all-devices (thermal share of FIT)", E7FITShares},
+		{"E8", "§VI rain scenario (thermal flux ×2)", E8Rain},
+		{"E9", "§II Weulersse span (thermal:fast sensitivity range)", E9SensitivitySpan},
+		{"E10", "§VI shielding (Cd and borated polyethylene)", E10Shielding},
+		{"E11", "§II BPSG history (≈8× error rate)", E11BPSG},
+		{"E12", "§VI moderation (water +24%, concrete ≈+20%)", E12Moderation},
+		{"E13", "companion-study FPGA precision (double ≈2× fast, ≈4× thermal)", E13FPGAPrecision},
+		{"E14", "field study: node placement & weather in error logs (§II/§VI)", E14FieldStudy},
+		{"E15", "weather-aware checkpoint scheduling (§VI suggestion)", E15Checkpointing},
+		{"E16", "goodput under neutron-induced DUEs (§I productivity claim)", E16Productivity},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Descriptor, error) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Descriptor{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllRegistered(t *testing.T) {
+	ds := All()
+	if len(ds) != 16 {
+		t.Fatalf("%d experiments, want 16", len(ds))
+	}
+	for _, d := range ds {
+		if d.Run == nil {
+			t.Errorf("%s has no runner", d.ID)
+		}
+		got, err := ByID(d.ID)
+		if err != nil || got.ID != d.ID {
+			t.Errorf("ByID(%s) failed: %v", d.ID, err)
+		}
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tbl := Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {"22", `q"u`}},
+		Notes:  []string{"hello"},
+	}
+	text := tbl.Format()
+	for _, want := range []string{"== T: demo ==", "a", "22", "note: hello"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q:\n%s", want, text)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""u"`) {
+		t.Errorf("CSV quoting wrong:\n%s", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Errorf("CSV has %d lines", len(lines))
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names")
+	}
+}
+
+// noteValue extracts the first float following "= " in a note containing
+// the given marker.
+func findNote(t *testing.T, tbl Table, marker string) string {
+	t.Helper()
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, marker) {
+			return n
+		}
+	}
+	t.Fatalf("no note containing %q in %v", marker, tbl.Notes)
+	return ""
+}
+
+func TestE1SpectraShape(t *testing.T) {
+	tbl, err := E1Spectra(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 60 {
+		t.Fatalf("%d bins", len(tbl.Rows))
+	}
+	findNote(t, tbl, "paper: 5.4e6")
+	findNote(t, tbl, "paper: 2.72e6")
+	// ChipIR peak fast, ROTAX peak thermal.
+	peaks := findNote(t, tbl, "lethargy peak")
+	if !strings.Contains(peaks, "fast") || !strings.Contains(peaks, "thermal") {
+		t.Errorf("peak note: %s", peaks)
+	}
+}
+
+func TestE4DDRShape(t *testing.T) {
+	tbl, err := E4DDR(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	note := findNote(t, tbl, "σ ratio")
+	// Extract the ratio value and require the order-of-magnitude claim.
+	fields := strings.Fields(note)
+	for i, f := range fields {
+		if f == "=" && i+1 < len(fields) {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err == nil {
+				if v < 4 || v > 25 {
+					t.Errorf("DDR3/DDR4 ratio %v outside order-of-magnitude band", v)
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("could not parse ratio from %q", note)
+}
+
+func TestE5DetectorShape(t *testing.T) {
+	tbl, err := E5Detector(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 14 { // 9 days before + 5 after
+		t.Fatalf("%d day rows", len(tbl.Rows))
+	}
+	findNote(t, tbl, "paper: ~24%")
+	findNote(t, tbl, "detected step")
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl, err := E6SupercomputerFIT(Quick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("%d machines", len(tbl.Rows))
+	}
+}
+
+func TestE9Span(t *testing.T) {
+	tbl, err := E9SensitivitySpan(Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("%d boron points", len(tbl.Rows))
+	}
+	findNote(t, tbl, "span covers")
+}
+
+func TestE10Shielding(t *testing.T) {
+	tbl, err := E10Shielding(Quick, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("%d shields", len(tbl.Rows))
+	}
+	// 1mm Cd row: thermal ~0%, fast high.
+	for _, row := range tbl.Rows {
+		if row[0] == "cadmium" && row[1] == "1 mm" {
+			if row[2] != "0.0%" {
+				t.Errorf("Cd thermal transmission %s", row[2])
+			}
+			if !strings.HasPrefix(row[3], "9") {
+				t.Errorf("Cd fast transmission %s, want >90%%", row[3])
+			}
+		}
+	}
+}
+
+func TestE11BPSGFactor(t *testing.T) {
+	tbl, err := E11BPSG(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d variants", len(tbl.Rows))
+	}
+	// The BPSG row's relative factor should be near 8.
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[0], "BPSG") {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "x"), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", row[2], err)
+			}
+			if v < 6 || v > 10 {
+				t.Errorf("BPSG factor = %v, want ~8", v)
+			}
+		}
+		if strings.Contains(row[0], "depleted") && row[1] != "0" {
+			t.Errorf("depleted variant sigma = %s, want 0", row[1])
+		}
+	}
+}
+
+func TestE12Moderation(t *testing.T) {
+	tbl, err := E12Moderation(Quick, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d moderators", len(tbl.Rows))
+	}
+	findNote(t, tbl, "paper: +44%")
+}
+
+func TestCampaignExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog campaigns are slow")
+	}
+	t3, err := E3RatioTable(Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 8 {
+		t.Fatalf("E3 rows: %d", len(t3.Rows))
+	}
+	// XeonPhi must rank first (least thermally sensitive).
+	if t3.Rows[0][0] != "XeonPhi" {
+		t.Errorf("E3 top device = %s", t3.Rows[0][0])
+	}
+	// E2 and E7 reuse the cached assessments — must be fast now.
+	t2, err := E2CrossSections(Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) == 0 {
+		t.Error("E2 empty")
+	}
+	t7, err := E7FITShares(Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 16 { // 8 devices × 2 environments
+		t.Errorf("E7 rows: %d", len(t7.Rows))
+	}
+	t8, err := E8Rain(Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != 2 {
+		t.Errorf("E8 rows: %d", len(t8.Rows))
+	}
+}

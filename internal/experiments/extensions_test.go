@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func noteFloat(t *testing.T, note, prefix string) float64 {
+	t.Helper()
+	idx := strings.Index(note, prefix)
+	if idx < 0 {
+		t.Fatalf("note %q missing %q", note, prefix)
+	}
+	rest := strings.TrimSpace(note[idx+len(prefix):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		t.Fatalf("no value after %q in %q", prefix, note)
+	}
+	raw := strings.Trim(fields[0], ",%()")
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", raw, err)
+	}
+	return v
+}
+
+func TestE13PrecisionRatios(t *testing.T) {
+	tbl, err := E13FPGAPrecision(Quick, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d rows", len(tbl.Rows))
+	}
+	fastRatio := noteFloat(t, findNote(t, tbl, "fast ratio"), "fast ratio =")
+	thermalRatio := noteFloat(t, findNote(t, tbl, "thermal ratio"), "thermal ratio =")
+	if fastRatio < 1.5 || fastRatio > 3 {
+		t.Errorf("fast double/single ratio = %v, want ~2", fastRatio)
+	}
+	if thermalRatio < 3 || thermalRatio > 5.5 {
+		t.Errorf("thermal double/single ratio = %v, want ~4", thermalRatio)
+	}
+	if thermalRatio <= fastRatio {
+		t.Error("thermal ratio must exceed fast ratio (the companion-study observation)")
+	}
+}
+
+func TestE14FieldStudyShape(t *testing.T) {
+	tbl, err := E14FieldStudy(Quick, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("%d classes", len(tbl.Rows))
+	}
+	// The rain effect must be visible even at quick scale (38% shift).
+	rain := findNote(t, tbl, "rainy vs dry")
+	ratio := noteFloat(t, rain, "ratio")
+	if ratio < 1.1 {
+		t.Errorf("rain ratio = %v, want clearly above 1", ratio)
+	}
+}
+
+func TestE15CheckpointingShape(t *testing.T) {
+	tbl, err := E15Checkpointing(Quick, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("%d days", len(tbl.Rows))
+	}
+	// Rainy-day intervals must be shorter than sunny ones.
+	var sunny, rainy float64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("parse interval %q: %v", row[3], err)
+		}
+		switch row[1] {
+		case "sunny":
+			sunny = v
+		case "rainy":
+			rainy = v
+		}
+	}
+	if rainy >= sunny {
+		t.Errorf("rainy interval %v should be below sunny %v", rainy, sunny)
+	}
+}
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	if len(All()) != 16 {
+		t.Fatalf("%d experiments, want 16", len(All()))
+	}
+	for _, id := range []string{"E13", "E14", "E15", "E16"} {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("%s not registered", id)
+		}
+	}
+}
+
+func TestE16ProductivityShape(t *testing.T) {
+	tbl, err := E16Productivity(Quick, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("%d scenarios", len(tbl.Rows))
+	}
+	// Goodput must decline from NYC to Los Alamos to rainy Los Alamos.
+	parsePct := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", cell, err)
+		}
+		return v
+	}
+	nyc := parsePct(tbl.Rows[0][3])
+	la := parsePct(tbl.Rows[1][3])
+	rainy := parsePct(tbl.Rows[2][3])
+	if !(nyc > la && la > rainy) {
+		t.Errorf("goodput ordering wrong: NYC %v, LA %v, rainy %v", nyc, la, rainy)
+	}
+	// Simulation must agree with the analytic prediction within 2 points.
+	for i, row := range tbl.Rows {
+		sim, analytic := parsePct(row[3]), parsePct(row[4])
+		if d := sim - analytic; d < -2 || d > 2 {
+			t.Errorf("row %d: simulated %v vs analytic %v", i, sim, analytic)
+		}
+	}
+}

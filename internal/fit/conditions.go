@@ -1,0 +1,106 @@
+package fit
+
+import (
+	"errors"
+	"math"
+)
+
+// SiteConditions refines a Location with the remaining flux drivers the
+// paper names (§II-A): "the flux is known to vary across the surface, as a
+// consequence of the earth's magnetic field, and increases exponentially
+// with altitude … under normal solar conditions, the fast neutron flux is
+// almost constant for a given latitude, longitude, and altitude."
+//
+// The corrections follow the JESD89A-style analytic form: a geomagnetic
+// cutoff-rigidity factor (latitude/longitude), a solar-modulation factor
+// (the cosmic-ray flux is anticorrelated with solar activity), and a
+// barometric factor (atmospheric depth shields the surface; a low-pressure
+// weather system raises the flux).
+type SiteConditions struct {
+	// SolarActivity in [0, 1]: 0 = solar minimum (highest flux),
+	// 1 = solar maximum (lowest flux).
+	SolarActivity float64
+	// CutoffRigidityGV is the geomagnetic vertical cutoff rigidity.
+	// New York sits near 2.08 GV; the geomagnetic equator near 17 GV.
+	// Zero means "use the NYC reference".
+	CutoffRigidityGV float64
+	// StationPressureHPa is the measured barometric pressure; zero means
+	// the standard pressure for the location's altitude.
+	StationPressureHPa float64
+}
+
+// Reference values for the correction factors.
+const (
+	nycCutoffRigidityGV = 2.08
+	// equatorCutoffRigidityGV with the halving rule below tunes the
+	// latitude dependence so the geomagnetic equator sees roughly half
+	// the NYC flux.
+	equatorCutoffRigidityGV = 17.0
+	// solarSwing is the peak-to-trough relative flux modulation over the
+	// solar cycle (~±11% around the mean, i.e. ~22% min-to-max).
+	solarSwing = 0.22
+	// barometricScaleHPa is the attenuation length of the neutron flux in
+	// station pressure (the classic 131.3 g/cm² ≈ 128.8 hPa).
+	barometricScaleHPa = 128.8
+	seaLevelPressure   = 1013.25
+)
+
+// Validate checks the conditions.
+func (c SiteConditions) Validate() error {
+	if c.SolarActivity < 0 || c.SolarActivity > 1 {
+		return errors.New("fit: solar activity out of [0,1]")
+	}
+	if c.CutoffRigidityGV < 0 {
+		return errors.New("fit: negative cutoff rigidity")
+	}
+	if c.StationPressureHPa < 0 {
+		return errors.New("fit: negative pressure")
+	}
+	return nil
+}
+
+// standardPressureHPa returns the barometric-formula pressure at altitude.
+func standardPressureHPa(altitudeM float64) float64 {
+	return seaLevelPressure * math.Exp(-altitudeM/8434)
+}
+
+// FluxFactor returns the multiplicative flux correction for the conditions
+// at the given location (1.0 at NYC reference conditions).
+func (c SiteConditions) FluxFactor(l Location) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	factor := 1.0
+	// Solar modulation: highest flux at solar minimum. The reference
+	// fluxes are mid-cycle, so activity 0.5 is neutral.
+	factor *= 1 + solarSwing*(0.5-c.SolarActivity)
+	// Geomagnetic rigidity relative to the NYC reference: flux halves
+	// from NYC (2.08 GV) to the geomagnetic equator (~17 GV).
+	rigidity := c.CutoffRigidityGV
+	if rigidity == 0 {
+		rigidity = nycCutoffRigidityGV
+	}
+	factor *= math.Exp2(-(rigidity - nycCutoffRigidityGV) /
+		(equatorCutoffRigidityGV - nycCutoffRigidityGV))
+	// Barometric correction relative to the site's standard pressure.
+	pressure := c.StationPressureHPa
+	if pressure == 0 {
+		pressure = standardPressureHPa(l.AltitudeM)
+	}
+	factor *= math.Exp((standardPressureHPa(l.AltitudeM) - pressure) / barometricScaleHPa)
+	return factor, nil
+}
+
+// Apply returns a copy of the location with all fluxes scaled by the
+// conditions' factor.
+func (c SiteConditions) Apply(l Location) (Location, error) {
+	factor, err := c.FluxFactor(l)
+	if err != nil {
+		return Location{}, err
+	}
+	out := l
+	out.FastFluxPerHour *= factor
+	out.ThermalFluxPerHour *= factor
+	out.EpithermalFluxPerHour *= factor
+	return out, nil
+}

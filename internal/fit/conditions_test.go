@@ -1,0 +1,129 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConditionsValidate(t *testing.T) {
+	bad := []SiteConditions{
+		{SolarActivity: -0.1},
+		{SolarActivity: 1.1},
+		{CutoffRigidityGV: -1},
+		{StationPressureHPa: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := (SiteConditions{SolarActivity: 0.5}).Validate(); err != nil {
+		t.Errorf("valid conditions rejected: %v", err)
+	}
+}
+
+func TestReferenceConditionsAreNeutral(t *testing.T) {
+	// Mid-cycle solar activity at NYC rigidity and standard pressure
+	// must leave the flux unchanged.
+	f, err := SiteConditions{SolarActivity: 0.5}.FluxFactor(NYC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-9 {
+		t.Errorf("reference factor = %v, want 1", f)
+	}
+}
+
+func TestSolarModulation(t *testing.T) {
+	min, _ := SiteConditions{SolarActivity: 0}.FluxFactor(NYC())
+	max, _ := SiteConditions{SolarActivity: 1}.FluxFactor(NYC())
+	if min <= max {
+		t.Errorf("solar minimum flux (%v) must exceed solar maximum (%v)", min, max)
+	}
+	if swing := min - max; math.Abs(swing-0.22) > 1e-9 {
+		t.Errorf("solar swing = %v, want 0.22", swing)
+	}
+}
+
+func TestRigidityHalvesAtEquator(t *testing.T) {
+	eq, err := SiteConditions{SolarActivity: 0.5, CutoffRigidityGV: 17}.FluxFactor(NYC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eq-0.5) > 0.01 {
+		t.Errorf("equator factor = %v, want 0.5", eq)
+	}
+}
+
+func TestBarometricEffect(t *testing.T) {
+	nyc := NYC()
+	// A deep low-pressure system (storm): less shielding, more flux.
+	storm, _ := SiteConditions{SolarActivity: 0.5, StationPressureHPa: 980}.FluxFactor(nyc)
+	high, _ := SiteConditions{SolarActivity: 0.5, StationPressureHPa: 1040}.FluxFactor(nyc)
+	if storm <= 1 || high >= 1 {
+		t.Errorf("barometric factors wrong: storm %v, high %v", storm, high)
+	}
+	// ~33 hPa below standard ⇒ ~+29%.
+	if storm < 1.2 || storm > 1.4 {
+		t.Errorf("storm factor = %v, want ~1.29", storm)
+	}
+}
+
+func TestBarometricUsesAltitudeStandard(t *testing.T) {
+	lv := Leadville()
+	// At altitude the standard pressure is lower; specifying exactly that
+	// pressure must be neutral.
+	std := standardPressureHPa(lv.AltitudeM)
+	f, err := SiteConditions{SolarActivity: 0.5, StationPressureHPa: std}.FluxFactor(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-9 {
+		t.Errorf("altitude-standard pressure factor = %v, want 1", f)
+	}
+	if std > 750 || std < 650 {
+		t.Errorf("Leadville standard pressure = %v hPa, want ~700", std)
+	}
+}
+
+func TestApplyScalesAllBands(t *testing.T) {
+	nyc := NYC()
+	scaled, err := SiteConditions{SolarActivity: 0}.Apply(nyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := scaled.FastFluxPerHour / nyc.FastFluxPerHour
+	if factor <= 1 {
+		t.Errorf("solar-minimum factor = %v", factor)
+	}
+	for _, pair := range [][2]float64{
+		{scaled.ThermalFluxPerHour, nyc.ThermalFluxPerHour},
+		{scaled.EpithermalFluxPerHour, nyc.EpithermalFluxPerHour},
+	} {
+		if math.Abs(pair[0]/pair[1]-factor) > 1e-9 {
+			t.Error("bands not scaled uniformly")
+		}
+	}
+}
+
+func TestApplyRejectsBadConditions(t *testing.T) {
+	if _, err := (SiteConditions{SolarActivity: 2}).Apply(NYC()); err == nil {
+		t.Error("bad conditions accepted")
+	}
+}
+
+func TestFluxFactorAlwaysPositive(t *testing.T) {
+	f := func(a, r, p float64) bool {
+		c := SiteConditions{
+			SolarActivity:      math.Abs(math.Mod(a, 1)),
+			CutoffRigidityGV:   math.Abs(math.Mod(r, 20)),
+			StationPressureHPa: 900 + math.Abs(math.Mod(p, 200)),
+		}
+		factor, err := c.FluxFactor(NYC())
+		return err == nil && factor > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

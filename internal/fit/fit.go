@@ -1,0 +1,91 @@
+package fit
+
+import (
+	"errors"
+
+	"neutronsim/internal/units"
+)
+
+// Sigmas carries the four measured device cross sections (cm² per device)
+// from a matched ChipIR/ROTAX campaign pair.
+type Sigmas struct {
+	SDCFast    units.CrossSection
+	SDCThermal units.CrossSection
+	DUEFast    units.CrossSection
+	DUEThermal units.CrossSection
+}
+
+// Validate checks the cross sections.
+func (s Sigmas) Validate() error {
+	if s.SDCFast < 0 || s.SDCThermal < 0 || s.DUEFast < 0 || s.DUEThermal < 0 {
+		return errors.New("fit: negative cross section")
+	}
+	if s.SDCFast+s.SDCThermal+s.DUEFast+s.DUEThermal == 0 {
+		return errors.New("fit: all cross sections zero")
+	}
+	return nil
+}
+
+// Breakdown is a per-band FIT decomposition for one error type.
+type Breakdown struct {
+	Fast    units.FIT
+	Thermal units.FIT
+}
+
+// Total returns the summed rate.
+func (b Breakdown) Total() units.FIT { return b.Fast + b.Thermal }
+
+// ThermalShare returns the thermal fraction of the total — the quantity
+// the paper's FIT figure reports ("percentage of total FIT rate due to
+// high energy and thermal neutrons").
+func (b Breakdown) ThermalShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Thermal) / float64(t)
+}
+
+// Report is the device-in-environment FIT analysis.
+type Report struct {
+	Environment Environment
+	SDC         Breakdown
+	DUE         Breakdown
+}
+
+// Total returns the combined SDC+DUE rate.
+func (r Report) Total() units.FIT { return r.SDC.Total() + r.DUE.Total() }
+
+// Compute turns measured cross sections and an environment into FIT
+// breakdowns: FIT = sigma × flux × 1e9, per band, per error type.
+func Compute(s Sigmas, env Environment) (Report, error) {
+	if err := s.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := env.Validate(); err != nil {
+		return Report{}, err
+	}
+	fastFlux := units.FluxPerHour(env.FastFluxPerHour())
+	thermalFlux := units.FluxPerHour(env.ThermalFluxPerHour())
+	return Report{
+		Environment: env,
+		SDC: Breakdown{
+			Fast:    units.FITFromCrossSection(s.SDCFast, fastFlux),
+			Thermal: units.FITFromCrossSection(s.SDCThermal, thermalFlux),
+		},
+		DUE: Breakdown{
+			Fast:    units.FITFromCrossSection(s.DUEFast, fastFlux),
+			Thermal: units.FITFromCrossSection(s.DUEThermal, thermalFlux),
+		},
+	}, nil
+}
+
+// UnderestimationFactor returns how much the total FIT rate is
+// underestimated when thermal neutrons are ignored: total/(fast only).
+func (r Report) UnderestimationFactor() float64 {
+	fastOnly := r.SDC.Fast + r.DUE.Fast
+	if fastOnly == 0 {
+		return 0
+	}
+	return float64(r.Total()) / float64(fastOnly)
+}

@@ -1,0 +1,22 @@
+package fit
+
+import (
+	"neutronsim/internal/spectrum"
+)
+
+// SpectrumFor materializes an environment's (material- and
+// weather-adjusted) neutron field as a sampleable spectrum, so the same
+// environment description that drives FIT arithmetic can also drive Monte
+// Carlo components like the Tin-II detector or a natural-background beam
+// campaign.
+func SpectrumFor(env Environment) (spectrum.Spectrum, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	return spectrum.NewEnvironment(spectrum.EnvironmentConfig{
+		Name:                  env.String(),
+		FastFluxPerHour:       env.FastFluxPerHour(),
+		EpithermalFluxPerHour: env.Location.EpithermalFluxPerHour,
+		ThermalFluxPerHour:    env.ThermalFluxPerHour(),
+	})
+}

@@ -1,0 +1,90 @@
+package fit
+
+import (
+	"errors"
+	"sort"
+
+	"neutronsim/internal/memsim"
+	"neutronsim/internal/units"
+)
+
+// Supercomputer describes one Top-10 (June 2019) machine for the DDR
+// thermal-FIT projection of the paper's commented "HPC_FIT" figure: main
+// memory size, DRAM generation, site altitude, and cooling style.
+type Supercomputer struct {
+	Name       string
+	Site       string
+	AltitudeM  float64
+	MemoryTB   float64
+	Generation memsim.Generation
+	// LiquidCooled machines get the water-cooling thermal enhancement on
+	// top of the concrete slab every machine room has.
+	LiquidCooled bool
+}
+
+// Top10 returns the June-2019 Top500 leaders with approximate main-memory
+// capacities and site altitudes.
+func Top10() []Supercomputer {
+	return []Supercomputer{
+		{Name: "Summit", Site: "Oak Ridge, USA", AltitudeM: 260, MemoryTB: 2414, Generation: memsim.DDR4, LiquidCooled: true},
+		{Name: "Sierra", Site: "Livermore, USA", AltitudeM: 180, MemoryTB: 1290, Generation: memsim.DDR4, LiquidCooled: true},
+		{Name: "Sunway TaihuLight", Site: "Wuxi, China", AltitudeM: 5, MemoryTB: 1310, Generation: memsim.DDR3, LiquidCooled: true},
+		{Name: "Tianhe-2A", Site: "Guangzhou, China", AltitudeM: 10, MemoryTB: 2280, Generation: memsim.DDR3, LiquidCooled: true},
+		{Name: "Frontera", Site: "Austin, USA", AltitudeM: 150, MemoryTB: 892, Generation: memsim.DDR4, LiquidCooled: true},
+		{Name: "Piz Daint", Site: "Lugano, Switzerland", AltitudeM: 273, MemoryTB: 340, Generation: memsim.DDR4, LiquidCooled: true},
+		{Name: "Trinity", Site: "Los Alamos, USA", AltitudeM: 2231, MemoryTB: 2070, Generation: memsim.DDR4, LiquidCooled: true},
+		{Name: "ABCI", Site: "Tokyo, Japan", AltitudeM: 10, MemoryTB: 476, Generation: memsim.DDR4, LiquidCooled: true},
+		{Name: "SuperMUC-NG", Site: "Garching, Germany", AltitudeM: 480, MemoryTB: 719, Generation: memsim.DDR4, LiquidCooled: true},
+		{Name: "Lassen", Site: "Livermore, USA", AltitudeM: 180, MemoryTB: 380, Generation: memsim.DDR4, LiquidCooled: false},
+	}
+}
+
+// SupercomputerFIT is one row of the projected DDR thermal-FIT table.
+type SupercomputerFIT struct {
+	Machine    Supercomputer
+	ThermalFIT units.FIT
+	// RainyDayFIT doubles the thermal flux (storm scenario).
+	RainyDayFIT units.FIT
+	// WithECC keeps only the SEFI-like share that SECDED cannot fix.
+	WithECC units.FIT
+}
+
+// ProjectTop10 computes each machine's whole-system DDR thermal FIT:
+// memory Gbits × per-Gbit thermal cross section × site-adjusted thermal
+// flux. sigmaPerGbit maps each generation to its measured cross section
+// (e.g. from a ROTAX memsim campaign); eccResidual is the fraction of
+// events SECDED cannot correct (multi-bit SEFI share).
+func ProjectTop10(machines []Supercomputer, sigmaPerGbit map[memsim.Generation]units.CrossSection, eccResidual float64) ([]SupercomputerFIT, error) {
+	if len(machines) == 0 {
+		return nil, errors.New("fit: no machines")
+	}
+	if eccResidual < 0 || eccResidual > 1 {
+		return nil, errors.New("fit: ECC residual out of [0,1]")
+	}
+	out := make([]SupercomputerFIT, 0, len(machines))
+	for _, m := range machines {
+		sigma, ok := sigmaPerGbit[m.Generation]
+		if !ok || sigma <= 0 {
+			return nil, errors.New("fit: missing sigma for " + m.Generation.String())
+		}
+		env := Environment{
+			Location:      AtAltitude(m.Site, m.AltitudeM),
+			ConcreteFloor: true,
+			WaterCooling:  m.LiquidCooled,
+		}
+		gbits := m.MemoryTB * 8 * 1024 // TB → Gbit
+		flux := units.FluxPerHour(env.ThermalFluxPerHour())
+		fitRate := units.FITFromCrossSection(units.CrossSection(float64(sigma)*gbits), flux)
+		env.Raining = true
+		rainy := units.FITFromCrossSection(units.CrossSection(float64(sigma)*gbits),
+			units.FluxPerHour(env.ThermalFluxPerHour()))
+		out = append(out, SupercomputerFIT{
+			Machine:     m,
+			ThermalFIT:  fitRate,
+			RainyDayFIT: rainy,
+			WithECC:     units.FIT(float64(fitRate) * eccResidual),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ThermalFIT > out[j].ThermalFIT })
+	return out, nil
+}

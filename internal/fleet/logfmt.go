@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The fleet log text format, one line per event plus a metadata header:
+//
+//	# neutronsim-fleet-log v1
+//	# days=120 rainydays=37
+//	# class dry-aisle nodehours=1.44e+06
+//	# class near-cooling nodehours=1.44e+06
+//	h000123 near-cooling node-042 DUE rain=true
+//
+// The format exists so logs can be archived and re-analyzed offline, the
+// way real machine-room studies work from syslog archives.
+
+const logMagic = "# neutronsim-fleet-log v1"
+
+// WriteTo serializes the log. It implements io.WriterTo.
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(format string, args ...any) error {
+		c, err := fmt.Fprintf(bw, format, args...)
+		n += int64(c)
+		return err
+	}
+	if err := write("%s\n", logMagic); err != nil {
+		return n, err
+	}
+	if err := write("# days=%d rainydays=%d\n", l.Days, l.RainyDays); err != nil {
+		return n, err
+	}
+	classes := make([]string, 0, len(l.NodeHours))
+	for c := range l.NodeHours {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		if err := write("# class %s nodehours=%g\n", c, l.NodeHours[c]); err != nil {
+			return n, err
+		}
+	}
+	for _, e := range l.Entries {
+		if err := write("h%06d %s node-%d %s rain=%t\n",
+			e.Hour, e.Class, e.Node, e.Type, e.Rainy); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ParseLog reads a serialized fleet log back.
+func ParseLog(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, errors.New("fleet: empty log")
+	}
+	if sc.Text() != logMagic {
+		return nil, fmt.Errorf("fleet: bad log header %q", sc.Text())
+	}
+	log := &Log{NodeHours: map[string]float64{}}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# days=") {
+			if _, err := fmt.Sscanf(line, "# days=%d rainydays=%d", &log.Days, &log.RainyDays); err != nil {
+				return nil, fmt.Errorf("fleet: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# class ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || !strings.HasPrefix(fields[3], "nodehours=") {
+				return nil, fmt.Errorf("fleet: line %d: bad class header", lineNo)
+			}
+			hours, err := strconv.ParseFloat(strings.TrimPrefix(fields[3], "nodehours="), 64)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: line %d: %w", lineNo, err)
+			}
+			log.NodeHours[fields[2]] = hours
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // unknown comment
+		}
+		entry, err := parseEntry(line)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: line %d: %w", lineNo, err)
+		}
+		log.Entries = append(log.Entries, entry)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(log.NodeHours) == 0 {
+		return nil, errors.New("fleet: log has no class headers")
+	}
+	return log, nil
+}
+
+func parseEntry(line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		return Entry{}, fmt.Errorf("expected 5 fields, got %d", len(fields))
+	}
+	var e Entry
+	if !strings.HasPrefix(fields[0], "h") {
+		return Entry{}, fmt.Errorf("bad hour field %q", fields[0])
+	}
+	hour, err := strconv.Atoi(strings.TrimPrefix(fields[0], "h"))
+	if err != nil {
+		return Entry{}, err
+	}
+	e.Hour = hour
+	e.Class = fields[1]
+	if !strings.HasPrefix(fields[2], "node-") {
+		return Entry{}, fmt.Errorf("bad node field %q", fields[2])
+	}
+	if e.Node, err = strconv.Atoi(strings.TrimPrefix(fields[2], "node-")); err != nil {
+		return Entry{}, err
+	}
+	switch fields[3] {
+	case "SDC":
+		e.Type = EventSDC
+	case "DUE":
+		e.Type = EventDUE
+	default:
+		return Entry{}, fmt.Errorf("bad event type %q", fields[3])
+	}
+	switch fields[4] {
+	case "rain=true":
+		e.Rainy = true
+	case "rain=false":
+		e.Rainy = false
+	default:
+		return Entry{}, fmt.Errorf("bad rain field %q", fields[4])
+	}
+	return e, nil
+}

@@ -1,0 +1,72 @@
+package memsim
+
+import (
+	"errors"
+	"math"
+
+	"neutronsim/internal/rng"
+)
+
+// Annealing model. The paper notes that permanent errors "are caused by
+// Displacement Damage (the neutron dislocates atoms in the transistor) and
+// can possibly be repaired with annealing (i.e., heating the device)"
+// (§IV, after quinnDDR/srour2003). Defect recombination is thermally
+// activated, so the repair probability of a stuck-at cell follows an
+// Arrhenius law in temperature and saturates exponentially in time.
+
+const (
+	// annealActivationEV is the effective activation energy of the
+	// dominant displacement-defect recombination path in DRAM silicon.
+	annealActivationEV = 0.8
+	// annealPrefactorPerHour sets the attempt frequency so that a bake at
+	// 100 °C repairs most cells within a day.
+	annealPrefactorPerHour = 2e10
+	kBoltzmannEVPerK       = 8.617333262e-5
+)
+
+// AnnealRepairProbability returns the probability that one stuck-at cell
+// recovers after baking at tempC for the given hours.
+func AnnealRepairProbability(tempC, hours float64) float64 {
+	if hours <= 0 {
+		return 0
+	}
+	tk := tempC + 273.15
+	if tk <= 0 {
+		return 0
+	}
+	rate := annealPrefactorPerHour * math.Exp(-annealActivationEV/(kBoltzmannEVPerK*tk))
+	return 1 - math.Exp(-rate*hours)
+}
+
+// AnnealResult describes one bake cycle applied to a module with live
+// permanent faults.
+type AnnealResult struct {
+	TempC     float64
+	Hours     float64
+	Before    int64
+	Repaired  int64
+	Remaining int64
+	// PerCellRepairProbability is the Arrhenius repair probability used.
+	PerCellRepairProbability float64
+}
+
+// Anneal applies a bake cycle to a module that ended a campaign with the
+// given number of permanent faults, sampling how many recover.
+func Anneal(permanents int64, tempC, hours float64, s *rng.Stream) (AnnealResult, error) {
+	if permanents < 0 {
+		return AnnealResult{}, errors.New("memsim: negative permanent count")
+	}
+	if s == nil {
+		return AnnealResult{}, errors.New("memsim: nil rng stream")
+	}
+	p := AnnealRepairProbability(tempC, hours)
+	repaired := s.Binomial(permanents, p)
+	return AnnealResult{
+		TempC:                    tempC,
+		Hours:                    hours,
+		Before:                   permanents,
+		Repaired:                 repaired,
+		Remaining:                permanents - repaired,
+		PerCellRepairProbability: p,
+	}, nil
+}

@@ -1,0 +1,94 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neutronsim/internal/rng"
+)
+
+func TestAnnealRepairProbabilityMonotoneInTemperature(t *testing.T) {
+	f := func(rawT float64) bool {
+		tempC := 20 + math.Abs(math.Mod(rawT, 150))
+		lo := AnnealRepairProbability(tempC, 10)
+		hi := AnnealRepairProbability(tempC+20, 10)
+		return hi >= lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnealRepairProbabilityMonotoneInTime(t *testing.T) {
+	lo := AnnealRepairProbability(100, 1)
+	hi := AnnealRepairProbability(100, 24)
+	if hi <= lo {
+		t.Errorf("longer bake should repair more: %v vs %v", lo, hi)
+	}
+}
+
+func TestAnnealRepairProbabilityBounds(t *testing.T) {
+	for _, tempC := range []float64{-50, 25, 100, 250} {
+		for _, hours := range []float64{0, 0.1, 100} {
+			p := AnnealRepairProbability(tempC, hours)
+			if p < 0 || p > 1 {
+				t.Fatalf("p(%v°C, %vh) = %v", tempC, hours, p)
+			}
+		}
+	}
+	if AnnealRepairProbability(100, 0) != 0 {
+		t.Error("zero-duration bake should repair nothing")
+	}
+	if AnnealRepairProbability(-273.15, 10) != 0 {
+		t.Error("absolute zero should repair nothing")
+	}
+}
+
+func TestAnnealRegimes(t *testing.T) {
+	// Room temperature barely repairs; a 100°C day-long bake repairs most.
+	room := AnnealRepairProbability(25, 24)
+	bake := AnnealRepairProbability(100, 24)
+	if room > 0.2 {
+		t.Errorf("room-temperature self-annealing too strong: %v", room)
+	}
+	if bake < 0.8 {
+		t.Errorf("100°C bake too weak: %v", bake)
+	}
+}
+
+func TestAnneal(t *testing.T) {
+	s := rng.New(1)
+	res, err := Anneal(1000, 100, 24, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired+res.Remaining != res.Before {
+		t.Errorf("counts inconsistent: %+v", res)
+	}
+	frac := float64(res.Repaired) / 1000
+	if math.Abs(frac-res.PerCellRepairProbability) > 0.05 {
+		t.Errorf("repaired fraction %v vs probability %v", frac, res.PerCellRepairProbability)
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	s := rng.New(2)
+	if _, err := Anneal(-1, 100, 1, s); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Anneal(10, 100, 1, nil); err == nil {
+		t.Error("nil stream accepted")
+	}
+}
+
+func TestAnnealZeroFaults(t *testing.T) {
+	s := rng.New(3)
+	res, err := Anneal(0, 100, 24, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired != 0 || res.Remaining != 0 {
+		t.Errorf("ghost repairs: %+v", res)
+	}
+}

@@ -1,0 +1,121 @@
+package memsim
+
+import "math/bits"
+
+// SECDED implements the (72,64) single-error-correct, double-error-detect
+// Hamming code used on server DIMMs. The paper's DDR conclusion rests on
+// it: "SECDED ECC is shown to be sufficient to correct most thermal
+// neutrons induced errors" because transient and intermittent upsets were
+// all single-bit, while SEFIs corrupt many bits and defeat it (§IV).
+//
+// The code is a standard extended Hamming construction: check bit k
+// (k=0..6) covers the data bits whose 7-bit position index (over the
+// 64-bit word, after skipping power-of-two codeword positions) has bit k
+// set; the eighth bit is overall parity.
+
+// Codeword is a 72-bit ECC word: 64 data bits plus 8 check bits.
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// dataBitPositions maps each of the 64 data bits to its position in the
+// classic Hamming codeword (positions that are not powers of two).
+var dataBitPositions = buildDataBitPositions()
+
+func buildDataBitPositions() [64]uint32 {
+	var out [64]uint32
+	pos := uint32(1)
+	for i := 0; i < 64; {
+		pos++
+		if pos&(pos-1) == 0 { // power of two → check-bit slot
+			continue
+		}
+		out[i] = pos
+		i++
+	}
+	return out
+}
+
+// Encode computes the 8 check bits for a 64-bit data word.
+func Encode(data uint64) Codeword {
+	var check uint8
+	for k := 0; k < 7; k++ {
+		parity := 0
+		for i := 0; i < 64; i++ {
+			if data&(1<<uint(i)) != 0 && dataBitPositions[i]&(1<<uint(k)) != 0 {
+				parity ^= 1
+			}
+		}
+		if parity == 1 {
+			check |= 1 << uint(k)
+		}
+	}
+	// Overall parity over data plus the 7 Hamming check bits.
+	total := bits.OnesCount64(data) + bits.OnesCount8(check&0x7f)
+	if total%2 == 1 {
+		check |= 1 << 7
+	}
+	return Codeword{Data: data, Check: check}
+}
+
+// DecodeStatus classifies the outcome of a decode.
+type DecodeStatus int
+
+// Decode outcomes.
+const (
+	DecodeClean DecodeStatus = iota + 1
+	DecodeCorrected
+	DecodeUncorrectable
+)
+
+// String names the status.
+func (s DecodeStatus) String() string {
+	switch s {
+	case DecodeClean:
+		return "clean"
+	case DecodeCorrected:
+		return "corrected"
+	case DecodeUncorrectable:
+		return "uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// Decode checks and (if possible) corrects a received codeword, returning
+// the corrected data. Single-bit errors in data or check bits are
+// corrected; double-bit errors are detected as uncorrectable.
+func Decode(received Codeword) (uint64, DecodeStatus) {
+	expected := Encode(received.Data)
+	syndrome := (received.Check ^ expected.Check) & 0x7f
+	parityErr := overallParity(received) != 0
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return received.Data, DecodeClean
+	case syndrome == 0 && parityErr:
+		// The overall parity bit itself flipped.
+		return received.Data, DecodeCorrected
+	case parityErr:
+		// Odd number of flips with a syndrome: single-bit error at the
+		// position the syndrome names.
+		for i := 0; i < 64; i++ {
+			if dataBitPositions[i] == uint32(syndrome) {
+				return received.Data ^ (1 << uint(i)), DecodeCorrected
+			}
+		}
+		// Syndrome names a check-bit position: data is fine.
+		if uint32(syndrome)&(uint32(syndrome)-1) == 0 {
+			return received.Data, DecodeCorrected
+		}
+		return received.Data, DecodeUncorrectable
+	default:
+		// Syndrome set but overall parity clean: even number of flips.
+		return received.Data, DecodeUncorrectable
+	}
+}
+
+func overallParity(cw Codeword) int {
+	return (bits.OnesCount64(cw.Data) + bits.OnesCount8(cw.Check)) % 2
+}

@@ -1,0 +1,127 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neutronsim/internal/rng"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	f := func(data uint64) bool {
+		cw := Encode(data)
+		got, status := Decode(cw)
+		return got == data && status == DecodeClean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every single-bit data error is corrected.
+func TestSingleBitDataErrorsCorrected(t *testing.T) {
+	f := func(data uint64, bitRaw uint8) bool {
+		bit := int(bitRaw) % 64
+		cw := Encode(data)
+		cw.Data ^= 1 << uint(bit)
+		got, status := Decode(cw)
+		return got == data && status == DecodeCorrected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every single-bit check error is corrected (data unchanged).
+func TestSingleBitCheckErrorsCorrected(t *testing.T) {
+	f := func(data uint64, bitRaw uint8) bool {
+		bit := int(bitRaw) % 8
+		cw := Encode(data)
+		cw.Check ^= 1 << uint(bit)
+		got, status := Decode(cw)
+		return got == data && status == DecodeCorrected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every double-bit data error is detected as uncorrectable.
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	f := func(data uint64, b1Raw, b2Raw uint8) bool {
+		b1 := int(b1Raw) % 64
+		b2 := int(b2Raw) % 64
+		if b1 == b2 {
+			b2 = (b2 + 1) % 64
+		}
+		cw := Encode(data)
+		cw.Data ^= 1 << uint(b1)
+		cw.Data ^= 1 << uint(b2)
+		_, status := Decode(cw)
+		return status == DecodeUncorrectable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedDataCheckDoubleErrorDetected(t *testing.T) {
+	s := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		data := s.Uint64()
+		cw := Encode(data)
+		cw.Data ^= 1 << uint(s.Intn(64))
+		cw.Check ^= 1 << uint(s.Intn(7)) // avoid the overall parity bit
+		got, status := Decode(cw)
+		if status == DecodeCorrected && got != data {
+			t.Fatalf("miscorrected double error to wrong data")
+		}
+		if status == DecodeClean {
+			t.Fatalf("double error decoded as clean")
+		}
+	}
+}
+
+func TestExhaustiveSingleBitForOneWord(t *testing.T) {
+	const data = 0xDEADBEEFCAFEF00D
+	for bit := 0; bit < 64; bit++ {
+		cw := Encode(data)
+		cw.Data ^= 1 << uint(bit)
+		got, status := Decode(cw)
+		if status != DecodeCorrected || got != data {
+			t.Fatalf("bit %d: status %v, data %#x", bit, status, got)
+		}
+	}
+	for bit := 0; bit < 8; bit++ {
+		cw := Encode(data)
+		cw.Check ^= 1 << uint(bit)
+		got, status := Decode(cw)
+		if status != DecodeCorrected || got != data {
+			t.Fatalf("check bit %d: status %v", bit, status)
+		}
+	}
+}
+
+func TestDecodeStatusString(t *testing.T) {
+	if DecodeClean.String() != "clean" || DecodeCorrected.String() != "corrected" ||
+		DecodeUncorrectable.String() != "uncorrectable" || DecodeStatus(0).String() != "unknown" {
+		t.Error("status names wrong")
+	}
+}
+
+// FuzzDecode ensures arbitrary codewords never panic the decoder and that
+// corrected results re-encode cleanly.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xDEADBEEF), uint8(0x55))
+	f.Fuzz(func(t *testing.T, data uint64, check uint8) {
+		got, status := Decode(Codeword{Data: data, Check: check})
+		if status == DecodeClean || status == DecodeCorrected {
+			// A clean/corrected word must decode to itself afterwards.
+			again, status2 := Decode(Encode(got))
+			if status2 != DecodeClean || again != got {
+				t.Fatalf("corrected word unstable: %#x -> %#x (%v)", got, again, status2)
+			}
+		}
+	})
+}

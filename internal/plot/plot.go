@@ -1,0 +1,386 @@
+// Package plot renders simple, dependency-free SVG figures: log-log line
+// charts for the beamline spectra (Fig. 2), time series for the Tin-II
+// counts (Fig. turkeypan), and grouped bar charts for the cross-section
+// ratios (Fig. cs_ratio). The goal is publication-shaped figures from the
+// standard library alone.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Figure is anything that can render itself to SVG.
+type Figure interface {
+	SVG() (string, error)
+}
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a line chart with optional logarithmic axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+	// Width and Height in pixels (defaults 840×520).
+	Width, Height int
+}
+
+// palette holds the line/bar colors (color-blind-safe-ish).
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+func (c Chart) size() (w, h float64) {
+	if c.Width <= 0 {
+		c.Width = 840
+	}
+	if c.Height <= 0 {
+		c.Height = 520
+	}
+	return float64(c.Width), float64(c.Height)
+}
+
+// SVG renders the chart.
+func (c Chart) SVG() (string, error) {
+	if len(c.Series) == 0 {
+		return "", errors.New("plot: chart has no series")
+	}
+	var xs, ys []float64
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q length mismatch", s.Name)
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("plot: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			if c.LogX && s.X[i] <= 0 {
+				continue // log axes drop non-positive points
+			}
+			if c.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			xs = append(xs, s.X[i])
+			ys = append(ys, s.Y[i])
+		}
+	}
+	if len(xs) == 0 {
+		return "", errors.New("plot: no plottable points (log axis with non-positive data?)")
+	}
+	xAxis, err := newAxis(minOf(xs), maxOf(xs), c.LogX)
+	if err != nil {
+		return "", err
+	}
+	yAxis, err := newAxis(minOf(ys), maxOf(ys), c.LogY)
+	if err != nil {
+		return "", err
+	}
+	w, h := c.size()
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + xAxis.frac(x)*plotW }
+	py := func(y float64) float64 { return marginTop + (1-yAxis.frac(y))*plotH }
+
+	var b strings.Builder
+	svgHeader(&b, w, h, c.Title)
+	drawAxes(&b, w, h, c.XLabel, c.YLabel, xAxis, yAxis, px, py)
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			if (c.LogX && s.X[j] <= 0) || (c.LogY && s.Y[j] <= 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[j]), py(s.Y[j])))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		// Legend entry.
+		lx := marginLeft + 12
+		ly := marginTop + 8 + float64(i)*18
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="14" height="4" fill="%s"/>`+"\n", lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12">%s</text>`+"\n", lx+20, ly+6, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// TimeSeries is a convenience builder: y values at 0..n-1.
+func TimeSeries(title, xLabel, yLabel string, names []string, series ...[]float64) (Chart, error) {
+	if len(names) != len(series) {
+		return Chart{}, errors.New("plot: names/series mismatch")
+	}
+	c := Chart{Title: title, XLabel: xLabel, YLabel: yLabel}
+	for i, ys := range series {
+		xs := make([]float64, len(ys))
+		for j := range xs {
+			xs[j] = float64(j)
+		}
+		c.Series = append(c.Series, Series{Name: names[i], X: xs, Y: ys})
+	}
+	return c, nil
+}
+
+// BarGroup is one colored group of bars across the categories.
+type BarGroup struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart is a grouped vertical bar chart.
+type BarChart struct {
+	Title  string
+	YLabel string
+	// Labels name the categories along the x axis.
+	Labels []string
+	Groups []BarGroup
+	Width  int
+	Height int
+}
+
+// SVG renders the bar chart.
+func (bc BarChart) SVG() (string, error) {
+	if len(bc.Labels) == 0 || len(bc.Groups) == 0 {
+		return "", errors.New("plot: bar chart needs labels and groups")
+	}
+	maxV := 0.0
+	for _, g := range bc.Groups {
+		if len(g.Values) != len(bc.Labels) {
+			return "", fmt.Errorf("plot: group %q has %d values for %d labels",
+				g.Name, len(g.Values), len(bc.Labels))
+		}
+		for _, v := range g.Values {
+			if v < 0 {
+				return "", errors.New("plot: bar charts need non-negative values")
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	yAxis, err := newAxis(0, maxV, false)
+	if err != nil {
+		return "", err
+	}
+	w, h := 840.0, 520.0
+	if bc.Width > 0 {
+		w = float64(bc.Width)
+	}
+	if bc.Height > 0 {
+		h = float64(bc.Height)
+	}
+	plotW := w - marginLeft - marginRight
+	plotH := h - marginTop - marginBottom
+	py := func(y float64) float64 { return marginTop + (1-yAxis.frac(y))*plotH }
+
+	var b strings.Builder
+	svgHeader(&b, w, h, bc.Title)
+	// Y grid and labels.
+	for _, tick := range yAxis.ticks() {
+		y := py(tick)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tick))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" transform="rotate(-90 16 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(bc.YLabel))
+	// Bars.
+	catW := plotW / float64(len(bc.Labels))
+	barW := catW * 0.8 / float64(len(bc.Groups))
+	for ci, label := range bc.Labels {
+		cx := marginLeft + float64(ci)*catW
+		for gi, g := range bc.Groups {
+			v := g.Values[ci]
+			x := cx + catW*0.1 + float64(gi)*barW
+			y := py(v)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, marginTop+plotH-y, palette[gi%len(palette)])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			cx+catW/2, h-marginBottom+16, escape(label))
+	}
+	// Legend.
+	for gi, g := range bc.Groups {
+		lx := marginLeft + 12
+		ly := marginTop + 8 + float64(gi)*18
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="14" height="10" fill="%s"/>`+"\n",
+			lx, ly, palette[gi%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12">%s</text>`+"\n", lx+20, ly+9, escape(g.Name))
+	}
+	// Baseline.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+		marginLeft, marginTop+plotH, w-marginRight, marginTop+plotH)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// axis maps data values to [0,1].
+type axis struct {
+	lo, hi float64
+	log    bool
+}
+
+func newAxis(lo, hi float64, logScale bool) (axis, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return axis{}, errors.New("plot: NaN axis bounds")
+	}
+	if logScale {
+		if lo <= 0 {
+			return axis{}, errors.New("plot: log axis needs positive data")
+		}
+		lo = math.Pow(10, math.Floor(math.Log10(lo)))
+		hi = math.Pow(10, math.Ceil(math.Log10(hi)))
+		if hi <= lo {
+			hi = lo * 10
+		}
+		return axis{lo: lo, hi: hi, log: true}, nil
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad linear axes slightly.
+	span := hi - lo
+	lo -= span * 0.02
+	hi += span * 0.02
+	if lo > 0 && lo < span*0.2 {
+		lo = 0 // anchor near-zero linear axes at zero
+	}
+	return axis{lo: lo, hi: hi}, nil
+}
+
+// frac maps a value to [0,1] along the axis.
+func (a axis) frac(v float64) float64 {
+	if a.log {
+		if v <= 0 {
+			return 0
+		}
+		return (math.Log10(v) - math.Log10(a.lo)) / (math.Log10(a.hi) - math.Log10(a.lo))
+	}
+	return (v - a.lo) / (a.hi - a.lo)
+}
+
+// ticks returns tick positions: decades for log axes, a 1-2-5 progression
+// for linear axes.
+func (a axis) ticks() []float64 {
+	if a.log {
+		var out []float64
+		for d := math.Log10(a.lo); d <= math.Log10(a.hi)+1e-9; d++ {
+			out = append(out, math.Pow(10, d))
+		}
+		return out
+	}
+	span := a.hi - a.lo
+	raw := span / 6
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Ceil(a.lo/step) * step
+	var out []float64
+	for v := start; v <= a.hi+step*1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func svgHeader(b *strings.Builder, w, h float64, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(b, `<text x="%.1f" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n", w/2, escape(title))
+}
+
+func drawAxes(b *strings.Builder, w, h float64, xLabel, yLabel string, xAxis, yAxis axis,
+	px, py func(float64) float64) {
+	plotBottom := h - marginBottom
+	for _, tick := range xAxis.ticks() {
+		x := px(tick)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			x, marginTop, x, plotBottom)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, plotBottom+16, formatTick(tick))
+	}
+	for _, tick := range yAxis.ticks() {
+		y := py(tick)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, w-marginRight, y)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tick))
+	}
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+		marginLeft, plotBottom, w-marginRight, plotBottom)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, marginLeft, plotBottom)
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+(w-marginLeft-marginRight)/2, h-14, escape(xLabel))
+	fmt.Fprintf(b, `<text x="16" y="%.1f" font-size="12" transform="rotate(-90 16 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		marginTop+(plotBottom-marginTop)/2, marginTop+(plotBottom-marginTop)/2, escape(yLabel))
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,220 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartSVGBasics(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{2, 3, 4}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "demo", ">a<", ">b<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	if _, err := (Chart{}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	c = Chart{Series: []Series{{Name: "empty", X: nil, Y: nil}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("empty series accepted")
+	}
+	// Log axis with all-nonpositive data cannot plot anything.
+	c = Chart{LogY: true, Series: []Series{{Name: "z", X: []float64{1}, Y: []float64{0}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("unplottable log data accepted")
+	}
+}
+
+func TestLogLogChart(t *testing.T) {
+	// A spectra-like chart spanning many decades must render and drop
+	// non-positive points silently.
+	c := Chart{
+		Title: "spectra", LogX: true, LogY: true,
+		Series: []Series{{
+			Name: "flux",
+			X:    []float64{1e-3, 1e0, 1e3, 1e6, 1e9},
+			Y:    []float64{1e5, 0, 1e4, 1e6, 1e3}, // one zero point dropped
+		}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "polyline") {
+		t.Error("no polyline")
+	}
+}
+
+func TestTimeSeriesBuilder(t *testing.T) {
+	c, err := TimeSeries("counts", "hour", "counts/h",
+		[]string{"bare", "shielded"},
+		[]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 2 || c.Series[0].X[2] != 2 {
+		t.Errorf("series built wrong: %+v", c.Series)
+	}
+	if _, err := TimeSeries("x", "", "", []string{"only"}, []float64{1}, []float64{2}); err == nil {
+		t.Error("mismatched names accepted")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	bc := BarChart{
+		Title:  "ratios",
+		YLabel: "ratio",
+		Labels: []string{"XeonPhi", "K20"},
+		Groups: []BarGroup{
+			{Name: "SDC", Values: []float64{10.1, 2.0}},
+			{Name: "DUE", Values: []float64{6.4, 3.0}},
+		},
+	}
+	svg, err := bc.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<rect"); got < 4 {
+		t.Errorf("%d rects, want >= 4 bars", got)
+	}
+	for _, want := range []string{"XeonPhi", "K20", "SDC", "DUE"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (BarChart{}).SVG(); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+	bc := BarChart{Labels: []string{"a"}, Groups: []BarGroup{{Name: "g", Values: []float64{1, 2}}}}
+	if _, err := bc.SVG(); err == nil {
+		t.Error("mismatched group accepted")
+	}
+	bc = BarChart{Labels: []string{"a"}, Groups: []BarGroup{{Name: "g", Values: []float64{-1}}}}
+	if _, err := bc.SVG(); err == nil {
+		t.Error("negative bar accepted")
+	}
+}
+
+func TestAxisFracLinear(t *testing.T) {
+	a, err := newAxis(0, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := a.frac(0); f < 0 || f > 0.1 {
+		t.Errorf("frac(0) = %v", f)
+	}
+	if f := a.frac(10); f < 0.9 || f > 1 {
+		t.Errorf("frac(10) = %v", f)
+	}
+	if a.frac(5) <= a.frac(2) {
+		t.Error("frac not monotone")
+	}
+}
+
+func TestAxisFracLog(t *testing.T) {
+	a, err := newAxis(1, 1000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Geometric midpoint maps to the middle.
+	if f := a.frac(math.Sqrt(1 * 1000 * 1000)); math.Abs(f-0.833) > 0.2 {
+		_ = f // coarse check only; exact depends on decade snapping
+	}
+	mid := a.frac(math.Pow(10, 1.5))
+	if math.Abs(mid-0.5) > 1e-9 {
+		t.Errorf("log midpoint frac = %v, want 0.5", mid)
+	}
+	if _, err := newAxis(0, 10, true); err == nil {
+		t.Error("log axis with zero lower bound accepted")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	a, _ := newAxis(0, 10, false)
+	ticks := a.ticks()
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Errorf("%d linear ticks", len(ticks))
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Error("ticks not increasing")
+		}
+	}
+	lg, _ := newAxis(1, 1e6, true)
+	logTicks := lg.ticks()
+	if len(logTicks) != 7 { // 1e0..1e6
+		t.Errorf("%d log ticks, want 7", len(logTicks))
+	}
+}
+
+func TestDegenerateAxis(t *testing.T) {
+	a, err := newAxis(5, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.frac(5) < 0 || a.frac(5) > 1 {
+		t.Error("degenerate axis frac out of range")
+	}
+	if _, err := newAxis(math.NaN(), 1, false); err == nil {
+		t.Error("NaN bounds accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := Chart{
+		Title:  `a<b>&"c"`,
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1, 2}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b>`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		1e6:  "1e+06",
+		0.5:  "0.5",
+		150:  "150",
+		1e-6: "1e-06",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

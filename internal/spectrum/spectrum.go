@@ -1,0 +1,368 @@
+// Package spectrum models the neutron energy spectra the paper exposes
+// devices to: the ChipIR atmospheric-like high-energy beamline, the ROTAX
+// thermal beamline (Fig. 2), and scalable natural environments.
+//
+// A Spectrum couples a total flux with an energy distribution that can be
+// sampled; beam campaigns draw neutron energies from it and accumulate
+// fluence. Spectra built from band-pure components report exact per-band
+// fluxes, which is what cross-section normalization needs.
+package spectrum
+
+import (
+	"errors"
+	"math"
+
+	"neutronsim/internal/physics"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/stats"
+	"neutronsim/internal/units"
+)
+
+// Spectrum is a neutron field with a total flux and a sampleable energy
+// distribution.
+type Spectrum interface {
+	// Name identifies the spectrum (e.g. "ChipIR").
+	Name() string
+	// Sample draws one neutron energy.
+	Sample(s *rng.Stream) units.Energy
+	// TotalFlux is the all-energy flux.
+	TotalFlux() units.Flux
+	// FluxInBand is the flux restricted to one energy band.
+	FluxInBand(b physics.EnergyBand) units.Flux
+}
+
+// Component is one band-pure piece of a mixture spectrum.
+type Component struct {
+	Label  string
+	Band   physics.EnergyBand
+	Flux   units.Flux
+	Sample func(s *rng.Stream) units.Energy
+}
+
+// Mixture is a spectrum assembled from flux-weighted components.
+type Mixture struct {
+	name  string
+	comps []Component
+	total units.Flux
+}
+
+// NewMixture builds a mixture spectrum. Components must have positive flux
+// and a sampler.
+func NewMixture(name string, comps []Component) (*Mixture, error) {
+	if len(comps) == 0 {
+		return nil, errors.New("spectrum: mixture needs at least one component")
+	}
+	m := &Mixture{name: name}
+	for _, c := range comps {
+		if c.Flux <= 0 {
+			return nil, errors.New("spectrum: component flux must be positive")
+		}
+		if c.Sample == nil {
+			return nil, errors.New("spectrum: component sampler must not be nil")
+		}
+		m.comps = append(m.comps, c)
+		m.total += c.Flux
+	}
+	return m, nil
+}
+
+// Name returns the spectrum name.
+func (m *Mixture) Name() string { return m.name }
+
+// TotalFlux returns the summed component flux.
+func (m *Mixture) TotalFlux() units.Flux { return m.total }
+
+// FluxInBand sums the flux of components labeled with band b.
+func (m *Mixture) FluxInBand(b physics.EnergyBand) units.Flux {
+	var f units.Flux
+	for _, c := range m.comps {
+		if c.Band == b {
+			f += c.Flux
+		}
+	}
+	return f
+}
+
+// Sample draws a component proportionally to flux, then an energy from it.
+// Samples are re-drawn (bounded) until they fall inside the component's
+// declared band, keeping components band-pure.
+func (m *Mixture) Sample(s *rng.Stream) units.Energy {
+	u := s.Float64() * float64(m.total)
+	acc := 0.0
+	comp := m.comps[len(m.comps)-1]
+	for _, c := range m.comps {
+		acc += float64(c.Flux)
+		if u < acc {
+			comp = c
+			break
+		}
+	}
+	for i := 0; i < 64; i++ {
+		e := comp.Sample(s)
+		if physics.Classify(e) == comp.Band {
+			return e
+		}
+	}
+	// Pathological sampler: clamp into the band instead of looping forever.
+	switch comp.Band {
+	case physics.BandThermal:
+		return 0.0253
+	case physics.BandFast:
+		return 10 * units.MeV
+	default:
+		return 1e3
+	}
+}
+
+// Components returns a copy of the component list.
+func (m *Mixture) Components() []Component {
+	return append([]Component(nil), m.comps...)
+}
+
+// Samplers -----------------------------------------------------------------
+
+// MaxwellSampler returns a sampler for a Maxwellian thermal spectrum with
+// temperature kT (eV).
+func MaxwellSampler(kT units.Energy) func(*rng.Stream) units.Energy {
+	return func(s *rng.Stream) units.Energy {
+		return units.Energy(s.MaxwellEnergy(float64(kT)))
+	}
+}
+
+// OneOverESampler returns a sampler for the classic 1/E slowing-down
+// spectrum between lo and hi (log-uniform in energy).
+func OneOverESampler(lo, hi units.Energy) func(*rng.Stream) units.Energy {
+	return func(s *rng.Stream) units.Energy {
+		return units.Energy(s.LogUniform(float64(lo), float64(hi)))
+	}
+}
+
+// LogNormalBumpSampler returns a sampler concentrated around centerEV with
+// the given width in natural-log units, truncated to [lo, hi]. Atmospheric
+// and spallation fast spectra are well described by one or two such bumps
+// on a lethargy plot.
+func LogNormalBumpSampler(centerEV, sigmaLn float64, lo, hi units.Energy) func(*rng.Stream) units.Energy {
+	mu := math.Log(centerEV)
+	return func(s *rng.Stream) units.Energy {
+		for i := 0; i < 64; i++ {
+			e := units.Energy(math.Exp(mu + sigmaLn*s.Normal()))
+			if e >= lo && e <= hi {
+				return e
+			}
+		}
+		return units.Energy(centerEV)
+	}
+}
+
+// WattSampler returns a Watt fission-like fast sampler (a in MeV, b in
+// 1/MeV), truncated below at loMeV.
+func WattSampler(a, b, loMeV float64) func(*rng.Stream) units.Energy {
+	return func(s *rng.Stream) units.Energy {
+		for i := 0; i < 64; i++ {
+			e := s.WattEnergy(a, b)
+			if e >= loMeV {
+				return units.Energy(e * 1e6)
+			}
+		}
+		return units.Energy(loMeV * 1e6)
+	}
+}
+
+// Beamlines ------------------------------------------------------------------
+
+// Paper fluxes (§III-C): ChipIR >10 MeV flux, ChipIR thermal component, and
+// the ROTAX total flux, all in n/cm²/s.
+const (
+	ChipIRFastFluxAbove10MeV units.Flux = 5.4e6
+	ChipIRThermalFlux        units.Flux = 4.0e5
+	ROTAXTotalFlux           units.Flux = 2.72e6
+)
+
+// ChipIR builds the high-energy beamline spectrum: an atmospheric-like
+// fast region (two lethargy bumps near 2 MeV and 80 MeV), a 1/E epithermal
+// region, and the residual thermal component quoted by the paper.
+func ChipIR() *Mixture {
+	m, err := NewMixture("ChipIR", []Component{
+		{
+			Label:  "thermal",
+			Band:   physics.BandThermal,
+			Flux:   ChipIRThermalFlux,
+			Sample: MaxwellSampler(units.RoomTemperature.KT()),
+		},
+		{
+			Label:  "epithermal 1/E",
+			Band:   physics.BandEpithermal,
+			Flux:   1.6e6,
+			Sample: OneOverESampler(units.ThermalCutoff, units.FastThreshold),
+		},
+		{
+			Label:  "evaporation bump",
+			Band:   physics.BandFast,
+			Flux:   2.2e6,
+			Sample: LogNormalBumpSampler(2.2e6, 0.75, units.FastThreshold, 10*units.MeV),
+		},
+		{
+			Label:  "spallation bump >10MeV",
+			Band:   physics.BandFast,
+			Flux:   ChipIRFastFluxAbove10MeV,
+			Sample: LogNormalBumpSampler(90e6, 1.0, 10*units.MeV, 800*units.MeV),
+		},
+	})
+	if err != nil {
+		panic(err) // static catalog; cannot fail
+	}
+	return m
+}
+
+// ROTAX builds the thermal beamline: a liquid-methane-moderated Maxwellian
+// carrying ~95% of the flux plus a small epithermal tail.
+func ROTAX() *Mixture {
+	const thermalShare = 0.95
+	// Liquid methane at ~110 K moderates below room temperature; the
+	// effective Maxwellian temperature of the emerging beam is ~130 K.
+	const effectiveTemp units.Temperature = 130
+	m, err := NewMixture("ROTAX", []Component{
+		{
+			Label:  "thermal Maxwellian",
+			Band:   physics.BandThermal,
+			Flux:   ROTAXTotalFlux * thermalShare,
+			Sample: MaxwellSampler(effectiveTemp.KT()),
+		},
+		{
+			Label:  "epithermal tail",
+			Band:   physics.BandEpithermal,
+			Flux:   ROTAXTotalFlux * (1 - thermalShare),
+			Sample: OneOverESampler(units.ThermalCutoff, 100e3),
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Environments -----------------------------------------------------------------
+
+// EnvironmentConfig describes a natural neutron field by its per-band
+// fluxes (n/cm²/h, the natural unit at ground level).
+type EnvironmentConfig struct {
+	Name                  string
+	FastFluxPerHour       float64
+	EpithermalFluxPerHour float64
+	ThermalFluxPerHour    float64
+}
+
+// NewEnvironment builds an atmospheric-like environment spectrum from
+// per-band fluxes. The fast shape follows the ground-level cosmic-ray
+// spectrum (bumps at ~1-2 MeV and ~100 MeV); thermals are room-temperature
+// Maxwellian.
+func NewEnvironment(cfg EnvironmentConfig) (*Mixture, error) {
+	if cfg.FastFluxPerHour <= 0 && cfg.ThermalFluxPerHour <= 0 && cfg.EpithermalFluxPerHour <= 0 {
+		return nil, errors.New("spectrum: environment needs at least one positive flux")
+	}
+	var comps []Component
+	if cfg.ThermalFluxPerHour > 0 {
+		comps = append(comps, Component{
+			Label:  "thermal",
+			Band:   physics.BandThermal,
+			Flux:   units.FluxPerHour(cfg.ThermalFluxPerHour),
+			Sample: MaxwellSampler(units.RoomTemperature.KT()),
+		})
+	}
+	if cfg.EpithermalFluxPerHour > 0 {
+		comps = append(comps, Component{
+			Label:  "epithermal",
+			Band:   physics.BandEpithermal,
+			Flux:   units.FluxPerHour(cfg.EpithermalFluxPerHour),
+			Sample: OneOverESampler(units.ThermalCutoff, units.FastThreshold),
+		})
+	}
+	if cfg.FastFluxPerHour > 0 {
+		fast := units.FluxPerHour(cfg.FastFluxPerHour)
+		comps = append(comps,
+			Component{
+				Label:  "fast evaporation",
+				Band:   physics.BandFast,
+				Flux:   fast * 0.45,
+				Sample: LogNormalBumpSampler(1.8e6, 0.7, units.FastThreshold, 10*units.MeV),
+			},
+			Component{
+				Label:  "fast cascade",
+				Band:   physics.BandFast,
+				Flux:   fast * 0.55,
+				Sample: LogNormalBumpSampler(100e6, 1.0, 10*units.MeV, 1000*units.MeV),
+			},
+		)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "environment"
+	}
+	return NewMixture(name, comps)
+}
+
+// Mono is a monoenergetic beam, useful for calibration and tests.
+type Mono struct {
+	name   string
+	energy units.Energy
+	flux   units.Flux
+}
+
+// NewMono builds a monoenergetic spectrum.
+func NewMono(name string, e units.Energy, f units.Flux) (*Mono, error) {
+	if e <= 0 || f <= 0 {
+		return nil, errors.New("spectrum: mono requires positive energy and flux")
+	}
+	return &Mono{name: name, energy: e, flux: f}, nil
+}
+
+// Name returns the beam name.
+func (m *Mono) Name() string { return m.name }
+
+// Sample always returns the beam energy.
+func (m *Mono) Sample(*rng.Stream) units.Energy { return m.energy }
+
+// TotalFlux returns the beam flux.
+func (m *Mono) TotalFlux() units.Flux { return m.flux }
+
+// FluxInBand returns the flux if the beam energy lies in b, else 0.
+func (m *Mono) FluxInBand(b physics.EnergyBand) units.Flux {
+	if physics.Classify(m.energy) == b {
+		return m.flux
+	}
+	return 0
+}
+
+// Analysis --------------------------------------------------------------------
+
+// LethargyHistogram samples n energies and returns a log-binned histogram
+// weighted so that PerLethargy() is proportional to flux per unit lethargy
+// — the representation of Fig. 2.
+func LethargyHistogram(sp Spectrum, n int, bins int, s *rng.Stream) (*stats.Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("spectrum: sample count must be positive")
+	}
+	h, err := stats.NewLogHistogram(1e-3, 1e9, bins)
+	if err != nil {
+		return nil, err
+	}
+	w := float64(sp.TotalFlux()) / float64(n)
+	for i := 0; i < n; i++ {
+		h.AddWeighted(float64(sp.Sample(s)), w)
+	}
+	return h, nil
+}
+
+// EstimateBandFluxes estimates per-band fluxes by Monte Carlo, as a
+// cross-check of the exact component bookkeeping.
+func EstimateBandFluxes(sp Spectrum, n int, s *rng.Stream) map[physics.EnergyBand]units.Flux {
+	counts := map[physics.EnergyBand]int{}
+	for i := 0; i < n; i++ {
+		counts[physics.Classify(sp.Sample(s))]++
+	}
+	out := map[physics.EnergyBand]units.Flux{}
+	for b, c := range counts {
+		out[b] = sp.TotalFlux() * units.Flux(float64(c)/float64(n))
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+// Package transport implements a one-dimensional multi-slab Monte Carlo
+// neutron transport engine. It is the computational substitute for the
+// paper's physical environment effects: moderation of fast neutrons into
+// thermals by water and concrete (which raises device error rates) and
+// attenuation of thermal neutrons by cadmium or borated plastic shields.
+//
+// The model is the textbook slowing-down picture: exponential free flights
+// with the material's macroscopic total cross section, isotropic elastic
+// scattering in the center-of-mass frame, 1/v absorption, and re-equilibration
+// to a room-temperature Maxwellian once a neutron reaches thermal energies.
+package transport
+
+import (
+	"errors"
+	"math"
+
+	"neutronsim/internal/materials"
+	"neutronsim/internal/physics"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/units"
+)
+
+// Slab is one homogeneous layer of the 1-D geometry.
+type Slab struct {
+	Material  *materials.Material
+	Thickness float64 // cm
+}
+
+// maxCollisions bounds the random walk; a neutron exceeding it is tallied
+// as lost (counted with the absorbed).
+const maxCollisions = 100000
+
+// Fate classifies how a tracked neutron ended.
+type Fate int
+
+// Neutron fates.
+const (
+	FateTransmitted Fate = iota + 1 // escaped through the back face
+	FateReflected                   // escaped back through the front face
+	FateAbsorbed                    // captured in the geometry
+)
+
+// String names the fate.
+func (f Fate) String() string {
+	switch f {
+	case FateTransmitted:
+		return "transmitted"
+	case FateReflected:
+		return "reflected"
+	case FateAbsorbed:
+		return "absorbed"
+	default:
+		return "unknown"
+	}
+}
+
+// Tally accumulates the outcome statistics of a transport run.
+type Tally struct {
+	Incident    int
+	Transmitted map[physics.EnergyBand]int
+	Reflected   map[physics.EnergyBand]int
+	Absorbed    int
+	// AbsorbedByElement counts captures per element name, which is how the
+	// detector model counts ³He(n,p) signal events.
+	AbsorbedByElement map[string]int
+	Collisions        int64
+	Lost              int
+}
+
+func newTally() *Tally {
+	return &Tally{
+		Transmitted:       map[physics.EnergyBand]int{},
+		Reflected:         map[physics.EnergyBand]int{},
+		AbsorbedByElement: map[string]int{},
+	}
+}
+
+// TransmittedTotal sums transmissions over all bands.
+func (t *Tally) TransmittedTotal() int {
+	n := 0
+	for _, v := range t.Transmitted {
+		n += v
+	}
+	return n
+}
+
+// ReflectedTotal sums reflections over all bands.
+func (t *Tally) ReflectedTotal() int {
+	n := 0
+	for _, v := range t.Reflected {
+		n += v
+	}
+	return n
+}
+
+// TransmissionFraction is transmitted/incident.
+func (t *Tally) TransmissionFraction() float64 {
+	if t.Incident == 0 {
+		return 0
+	}
+	return float64(t.TransmittedTotal()) / float64(t.Incident)
+}
+
+// ReflectedThermalFraction is the thermal albedo: thermal reflections per
+// incident neutron, the quantity behind the paper's flux-enhancement
+// observations.
+func (t *Tally) ReflectedThermalFraction() float64 {
+	if t.Incident == 0 {
+		return 0
+	}
+	return float64(t.Reflected[physics.BandThermal]) / float64(t.Incident)
+}
+
+// Options selects transport-model variants for ablation studies
+// (DESIGN.md §5). The zero value is the default model.
+type Options struct {
+	// ForwardBias in [0, 1) shifts scattering re-emission toward the
+	// incident (+x) hemisphere: the forward hemisphere is chosen with
+	// probability 0.5+ForwardBias/2 instead of 0.5. Real elastic
+	// scattering is forward-peaked in the lab frame (mean cosine 2/3A);
+	// the default isotropic model is the textbook approximation.
+	ForwardBias float64
+}
+
+// Simulate fires n source neutrons at normal incidence into the slab stack
+// and returns the tally. source supplies the incident energy distribution.
+func Simulate(slabs []Slab, n int, source func(*rng.Stream) units.Energy, s *rng.Stream) (*Tally, error) {
+	return SimulateWithOptions(slabs, n, source, s, Options{})
+}
+
+// SimulateWithOptions is Simulate with explicit model options.
+func SimulateWithOptions(slabs []Slab, n int, source func(*rng.Stream) units.Energy, s *rng.Stream, opts Options) (*Tally, error) {
+	if len(slabs) == 0 {
+		return nil, errors.New("transport: empty geometry")
+	}
+	if n <= 0 {
+		return nil, errors.New("transport: non-positive neutron count")
+	}
+	if source == nil {
+		return nil, errors.New("transport: nil source")
+	}
+	if opts.ForwardBias < 0 || opts.ForwardBias >= 1 {
+		return nil, errors.New("transport: forward bias out of [0,1)")
+	}
+	for _, sl := range slabs {
+		if sl.Material == nil || sl.Thickness <= 0 {
+			return nil, errors.New("transport: slab needs material and positive thickness")
+		}
+	}
+	// Precompute cumulative boundaries.
+	bounds := make([]float64, len(slabs)+1)
+	for i, sl := range slabs {
+		bounds[i+1] = bounds[i] + sl.Thickness
+	}
+	tally := newTally()
+	tally.Incident = n
+	kT := float64(units.RoomTemperature.KT())
+	for i := 0; i < n; i++ {
+		trackOne(slabs, bounds, source(s), s, kT, tally, opts)
+	}
+	return tally, nil
+}
+
+func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT float64, tally *Tally, opts Options) {
+	x := 0.0
+	mu := 1.0 // entering along +x
+	slab := 0
+	back := bounds[len(bounds)-1]
+	for c := 0; c < maxCollisions; c++ {
+		// Thermal equilibrium: below ~the thermal cutoff the neutron
+		// exchanges energy with the lattice instead of monotonically
+		// slowing down; re-draw from the ambient Maxwellian.
+		if float64(e) < kT {
+			e = units.Energy(s.MaxwellEnergy(kT))
+		}
+		m := slabs[slab].Material
+		sigmaT := m.MacroTotal(e)
+		var flight float64
+		if sigmaT <= 0 {
+			flight = math.Inf(1)
+		} else {
+			flight = s.Exponential(sigmaT)
+		}
+		// Distance along x to the boundary ahead.
+		var boundaryX float64
+		if mu > 0 {
+			boundaryX = bounds[slab+1]
+		} else {
+			boundaryX = bounds[slab]
+		}
+		pathToBoundary := (boundaryX - x) / mu // positive by construction
+		if flight >= pathToBoundary {
+			// Crosses into the neighboring region (or escapes).
+			x = boundaryX
+			if mu > 0 {
+				slab++
+				if x >= back || slab >= len(slabs) {
+					tally.Transmitted[physics.Classify(e)]++
+					return
+				}
+			} else {
+				slab--
+				if x <= 0 || slab < 0 {
+					tally.Reflected[physics.Classify(e)]++
+					return
+				}
+			}
+			continue
+		}
+		// Collision inside the current slab.
+		x += flight * mu
+		tally.Collisions++
+		if s.Bernoulli(m.AbsorptionProbability(e)) {
+			tally.Absorbed++
+			tally.AbsorbedByElement[sampleAbsorber(m, e, s)]++
+			return
+		}
+		nucleus := m.SampleScatterer(s)
+		e = physics.ScatterEnergy(e, nucleus.A, s)
+		// Re-emission direction: isotropic in the lab frame by default;
+		// optionally forward-biased (DESIGN.md §5 ablation).
+		for {
+			mu = s.Float64() // magnitude
+			if mu == 0 {
+				continue
+			}
+			if !s.Bernoulli(0.5 + opts.ForwardBias/2) {
+				mu = -mu
+			}
+			break
+		}
+	}
+	tally.Lost++
+	tally.Absorbed++ // a lost neutron has certainly thermalized and died
+}
+
+// sampleAbsorber picks which element captured the neutron, weighted by the
+// per-element macroscopic absorption at energy e.
+func sampleAbsorber(m *materials.Material, e units.Energy, s *rng.Stream) string {
+	comps := m.Components()
+	total := m.MacroAbsorb(e)
+	if total <= 0 || len(comps) == 0 {
+		return "?"
+	}
+	u := s.Float64() * total
+	acc := 0.0
+	for _, c := range comps {
+		acc += c.NumberDensity * float64(c.Element.SigmaAbsorb(e))
+		if u < acc {
+			return c.Element.Name
+		}
+	}
+	return comps[len(comps)-1].Element.Name
+}
+
+// ShieldTransmission fires n monoenergetic neutrons at a single-material
+// shield and returns the transmitted fraction, split into the fraction
+// still in the original band and the total. It is the engine behind the
+// paper's Cd / borated-plastic shielding discussion (§VI).
+func ShieldTransmission(m *materials.Material, thicknessCm float64, e units.Energy, n int, s *rng.Stream) (sameBand, total float64, err error) {
+	tally, err := Simulate([]Slab{{Material: m, Thickness: thicknessCm}}, n,
+		func(*rng.Stream) units.Energy { return e }, s)
+	if err != nil {
+		return 0, 0, err
+	}
+	band := physics.Classify(e)
+	return float64(tally.Transmitted[band]) / float64(n), tally.TransmissionFraction(), nil
+}
+
+// ThermalAlbedo fires n fast neutrons (from source) into a moderator slab
+// and returns the fraction that comes back out of the front face as
+// thermal neutrons. This is the mechanism by which a concrete floor or a
+// water tank raises the thermal flux seen by nearby devices.
+func ThermalAlbedo(m *materials.Material, thicknessCm float64, n int, source func(*rng.Stream) units.Energy, s *rng.Stream) (float64, error) {
+	tally, err := Simulate([]Slab{{Material: m, Thickness: thicknessCm}}, n, source, s)
+	if err != nil {
+		return 0, err
+	}
+	return tally.ReflectedThermalFraction(), nil
+}
+
+// EnhancementConfig describes a moderation-enhancement estimate: a
+// moderator slab irradiated by the ambient fast flux returning thermalized
+// neutrons toward the device.
+type EnhancementConfig struct {
+	Moderator *materials.Material
+	Thickness float64 // cm
+	// FastToThermalFluxRatio is the ambient Φfast/Φthermal at the site.
+	FastToThermalFluxRatio float64
+	// Coupling folds the geometry (solid angle between moderator and
+	// device) into a single factor; calibrated once against the paper's
+	// measured +24% for 2 in of water (see fit package).
+	Coupling float64
+	Neutrons int
+}
+
+// ThermalEnhancement estimates the relative increase of the local thermal
+// flux caused by the moderator: albedo × coupling × (Φfast/Φthermal).
+func ThermalEnhancement(cfg EnhancementConfig, source func(*rng.Stream) units.Energy, s *rng.Stream) (float64, error) {
+	if cfg.FastToThermalFluxRatio <= 0 {
+		return 0, errors.New("transport: flux ratio must be positive")
+	}
+	if cfg.Coupling <= 0 {
+		return 0, errors.New("transport: coupling must be positive")
+	}
+	n := cfg.Neutrons
+	if n <= 0 {
+		n = 20000
+	}
+	albedo, err := ThermalAlbedo(cfg.Moderator, cfg.Thickness, n, source, s)
+	if err != nil {
+		return 0, err
+	}
+	return albedo * cfg.Coupling * cfg.FastToThermalFluxRatio, nil
+}

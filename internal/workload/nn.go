@@ -1,0 +1,337 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// convNet is the shared machinery of the two CNN-ish workloads. Weights
+// and activations are plain slices so the injector can flip bits in them —
+// faults in weights model configuration/parameter memory corruption,
+// faults in activations model datapath strikes.
+type convNet struct {
+	in, act1, act2, act3 []float64
+	dense                []float64
+	out                  []float64
+}
+
+// YOLO is a miniature object-detection network: two convolution+pool
+// blocks feeding a detection head. It stands in for the YOLOv2 CNN the
+// paper runs for autonomous-driving object detection. Output correctness
+// follows the paper's criterion for CNNs: the detected class and its
+// (quantized) confidence, not bit-exact tensors — CNNs mask most small
+// numerical upsets.
+type YOLO struct {
+	size    int // input edge (32)
+	classes int
+	conv1   []float64 // 8 filters 3×3
+	conv2   []float64 // 16 filters 3×3×8
+	dense   []float64 // classes × flattened
+	in      []float64
+	a1      []float64 // 32×32×8
+	p1      []float64 // 16×16×8
+	a2      []float64 // 16×16×16
+	p2      []float64 // 8×8×16
+	scores  []float64
+}
+
+// NewYOLO builds the detection network.
+func NewYOLO() *YOLO {
+	const size, c1, c2, classes = 32, 8, 16, 10
+	half, quarter := size/2, size/4
+	return &YOLO{
+		size:    size,
+		classes: classes,
+		conv1:   make([]float64, c1*3*3),
+		conv2:   make([]float64, c2*c1*3*3),
+		dense:   make([]float64, classes*quarter*quarter*c2),
+		in:      make([]float64, size*size),
+		a1:      make([]float64, size*size*c1),
+		p1:      make([]float64, half*half*c1),
+		a2:      make([]float64, half*half*c2),
+		p2:      make([]float64, quarter*quarter*c2),
+		scores:  make([]float64, classes),
+	}
+}
+
+// Name implements Workload.
+func (y *YOLO) Name() string { return "YOLO" }
+
+// Class implements Workload.
+func (y *YOLO) Class() Class { return ClassNeuralNetwork }
+
+// Reset initializes weights (deterministic Xavier-ish) and paints a
+// synthetic road scene.
+func (y *YOLO) Reset(seed uint64) {
+	g := splitmix(seed)
+	initWeights(y.conv1, &g, 9)
+	initWeights(y.conv2, &g, 72)
+	initWeights(y.dense, &g, len(y.dense)/y.classes)
+	n := y.size
+	for yy := 0; yy < n; yy++ {
+		for x := 0; x < n; x++ {
+			y.in[yy*n+x] = 0.2 + 0.1*g.float()
+		}
+	}
+	// A bright "vehicle" blob.
+	cx, cy := 8+g.intn(16), 8+g.intn(16)
+	for dy := -3; dy <= 3; dy++ {
+		for dx := -3; dx <= 3; dx++ {
+			y.in[clamp(cy+dy, n)*n+clamp(cx+dx, n)] = 0.95
+		}
+	}
+	zero(y.a1)
+	zero(y.p1)
+	zero(y.a2)
+	zero(y.p2)
+	zero(y.scores)
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func initWeights(w []float64, g *splitmix, fanIn int) {
+	scale := math.Sqrt(2 / float64(fanIn))
+	for i := range w {
+		w[i] = (2*g.float() - 1) * scale
+	}
+}
+
+// Steps implements Workload: conv1, pool1, conv2, pool2, head, softmax.
+func (y *YOLO) Steps() int { return 6 }
+
+// Step runs stage i of the network.
+func (y *YOLO) Step(i int) error {
+	const c1, c2 = 8, 16
+	n := y.size
+	half := n / 2
+	switch i {
+	case 0:
+		conv2D(y.in, n, 1, y.conv1, c1, y.a1, true)
+	case 1:
+		maxPool(y.a1, n, c1, y.p1)
+	case 2:
+		conv2D(y.p1, half, c1, y.conv2, c2, y.a2, true)
+	case 3:
+		maxPool(y.a2, half, c2, y.p2)
+	case 4:
+		denseLayer(y.p2, y.dense, y.scores)
+	case 5:
+		softmax(y.scores)
+	default:
+		return fmt.Errorf("YOLO: step %d out of range", i)
+	}
+	return nil
+}
+
+// Output implements Workload: argmax class plus per-class confidences
+// quantized to 0.01 (the paper-style detection-correctness criterion).
+func (y *YOLO) Output() []float64 { return detectionOutput(y.scores) }
+
+// Regions implements Workload.
+func (y *YOLO) Regions() []Region {
+	return []Region{
+		{Name: "frame", F64: y.in},
+		{Name: "conv1.w", F64: y.conv1},
+		{Name: "conv2.w", F64: y.conv2},
+		{Name: "head.w", F64: y.dense},
+		{Name: "act1", F64: y.a1},
+		{Name: "act2", F64: y.a2},
+		{Name: "pool2", F64: y.p2},
+	}
+}
+
+// MNIST is a small fully connected classifier for handwritten digits; the
+// paper runs it on the FPGA, where it is large enough to exercise the
+// fabric but too small for GPUs.
+type MNIST struct {
+	size   int // input edge (16)
+	hidden int
+	w1     []float64
+	w2     []float64
+	in     []float64
+	h      []float64
+	scores []float64
+}
+
+// NewMNIST builds the classifier.
+func NewMNIST() *MNIST {
+	const size, hidden, classes = 16, 64, 10
+	return &MNIST{
+		size:   size,
+		hidden: hidden,
+		w1:     make([]float64, hidden*size*size),
+		w2:     make([]float64, classes*hidden),
+		in:     make([]float64, size*size),
+		h:      make([]float64, hidden),
+		scores: make([]float64, classes),
+	}
+}
+
+// Name implements Workload.
+func (m *MNIST) Name() string { return "MNIST" }
+
+// Class implements Workload.
+func (m *MNIST) Class() Class { return ClassNeuralNetwork }
+
+// Reset initializes weights and draws a synthetic digit (a bright stroke).
+func (m *MNIST) Reset(seed uint64) {
+	g := splitmix(seed)
+	initWeights(m.w1, &g, m.size*m.size)
+	initWeights(m.w2, &g, m.hidden)
+	n := m.size
+	for i := range m.in {
+		m.in[i] = 0.05 * g.float()
+	}
+	// Vertical stroke with a random slant: a "1"-ish glyph.
+	x := 4 + g.intn(8)
+	slant := g.intn(3) - 1
+	for yy := 2; yy < n-2; yy++ {
+		px := clamp(x+slant*yy/8, n)
+		m.in[yy*n+px] = 0.9
+		m.in[yy*n+clamp(px+1, n)] = 0.6
+	}
+	zero(m.h)
+	zero(m.scores)
+}
+
+// Steps implements Workload: hidden layer, output layer, softmax.
+func (m *MNIST) Steps() int { return 3 }
+
+// Step runs stage i.
+func (m *MNIST) Step(i int) error {
+	switch i {
+	case 0:
+		for h := 0; h < m.hidden; h++ {
+			sum := 0.0
+			base := h * m.size * m.size
+			for j, v := range m.in {
+				sum += m.w1[base+j] * v
+			}
+			if sum < 0 {
+				sum = 0
+			}
+			m.h[h] = sum
+		}
+	case 1:
+		denseLayer(m.h, m.w2, m.scores)
+	case 2:
+		softmax(m.scores)
+	default:
+		return fmt.Errorf("MNIST: step %d out of range", i)
+	}
+	return nil
+}
+
+// Output implements Workload (same detection criterion as YOLO).
+func (m *MNIST) Output() []float64 { return detectionOutput(m.scores) }
+
+// Regions implements Workload.
+func (m *MNIST) Regions() []Region {
+	return []Region{
+		{Name: "digit", F64: m.in},
+		{Name: "w1", F64: m.w1},
+		{Name: "w2", F64: m.w2},
+		{Name: "hidden", F64: m.h},
+	}
+}
+
+// Shared NN primitives -------------------------------------------------------
+
+// conv2D applies chOut 3×3 filters over a chIn-channel square input with
+// clamped borders, writing chOut feature maps; relu optionally rectifies.
+func conv2D(in []float64, n, chIn int, w []float64, chOut int, out []float64, relu bool) {
+	for co := 0; co < chOut; co++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				sum := 0.0
+				for ci := 0; ci < chIn; ci++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							wi := ((co*chIn+ci)*3+(dy+1))*3 + (dx + 1)
+							sum += w[wi] * in[(ci*n+clamp(y+dy, n))*n+clamp(x+dx, n)]
+						}
+					}
+				}
+				if relu && sum < 0 {
+					sum = 0
+				}
+				out[(co*n+y)*n+x] = sum
+			}
+		}
+	}
+}
+
+// maxPool halves each of ch n×n maps with 2×2 max pooling.
+func maxPool(in []float64, n, ch int, out []float64) {
+	half := n / 2
+	for c := 0; c < ch; c++ {
+		for y := 0; y < half; y++ {
+			for x := 0; x < half; x++ {
+				m := in[(c*n+2*y)*n+2*x]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						v := in[(c*n+2*y+dy)*n+2*x+dx]
+						if v > m {
+							m = v
+						}
+					}
+				}
+				out[(c*half+y)*half+x] = m
+			}
+		}
+	}
+}
+
+// denseLayer computes out = W·in with W laid out row-major
+// (len(out) × len(in)).
+func denseLayer(in, w, out []float64) {
+	cols := len(in)
+	for r := range out {
+		sum := 0.0
+		base := r * cols
+		for j, v := range in {
+			sum += w[base+j] * v
+		}
+		out[r] = sum
+	}
+}
+
+// softmax normalizes scores in place (numerically stabilized).
+func softmax(scores []float64) {
+	maxV := math.Inf(-1)
+	for _, v := range scores {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	for i, v := range scores {
+		scores[i] = math.Exp(v - maxV)
+		sum += scores[i]
+	}
+	if sum == 0 || math.IsNaN(sum) {
+		return // leave raw; golden comparison will flag the corruption
+	}
+	for i := range scores {
+		scores[i] /= sum
+	}
+}
+
+// detectionOutput builds the CNN correctness signature: argmax first, then
+// confidences quantized to 0.01.
+func detectionOutput(scores []float64) []float64 {
+	out := make([]float64, len(scores)+1)
+	best := 0
+	for i, v := range scores {
+		if v > scores[best] {
+			best = i
+		}
+		out[i+1] = math.Round(v*100) / 100
+	}
+	out[0] = float64(best)
+	return out
+}

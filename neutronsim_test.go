@@ -1,0 +1,187 @@
+package neutronsim
+
+import (
+	"testing"
+)
+
+func TestDeviceCatalog(t *testing.T) {
+	devices := Devices()
+	if len(devices) != 8 {
+		t.Fatalf("%d devices, want 8", len(devices))
+	}
+	for _, d := range devices {
+		got, err := DeviceByName(d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != d.Name {
+			t.Errorf("lookup returned %s", got.Name)
+		}
+	}
+	if _, err := DeviceByName("ENIAC"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	if len(Workloads()) != 9 {
+		t.Errorf("%d workloads, want 9", len(Workloads()))
+	}
+}
+
+func TestFacadeAssessPipeline(t *testing.T) {
+	d, err := DeviceByName("K20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assess(d, []string{"MxM"}, QuickBudget(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.FIT(DataCenter(NYC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() <= 0 {
+		t.Error("no FIT from facade pipeline")
+	}
+	rows := RatioTable([]*Assessment{a})
+	if len(rows) != 1 || rows[0].Device != "K20" {
+		t.Errorf("ratio table: %+v", rows)
+	}
+	shares, err := ShareTable([]*Assessment{a}, []Environment{DataCenter(Leadville())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 1 || shares[0].SDCThermalShare <= 0 {
+		t.Errorf("share table: %+v", shares)
+	}
+}
+
+func TestFacadeLocations(t *testing.T) {
+	if NYC().FastFluxPerHour <= 0 {
+		t.Error("NYC fluxless")
+	}
+	if Leadville().FastFluxPerHour <= NYC().FastFluxPerHour {
+		t.Error("Leadville should exceed NYC")
+	}
+	if AtAltitude("x", 1000).FastFluxPerHour <= NYC().FastFluxPerHour {
+		t.Error("altitude scaling broken")
+	}
+}
+
+func TestFacadeMemory(t *testing.T) {
+	res, err := RunMemoryCampaign(DDR3Module(), 3, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Error("no memory events in 3 h")
+	}
+	if DDR4Module().Generation != DDR4 {
+		t.Error("generation constant mismatch")
+	}
+}
+
+func TestFacadeWaterExperiment(t *testing.T) {
+	res, err := RunWaterExperiment(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Change.Significant {
+		t.Error("water step not detected through the facade")
+	}
+}
+
+func TestFacadeTop10(t *testing.T) {
+	rows, err := ProjectTop10(Top10(), map[MemoryGeneration]CrossSection{
+		DDR3: 1e-10,
+		DDR4: 1e-11,
+	}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("%d rows", len(rows))
+	}
+}
+
+func TestFacadeComputeFIT(t *testing.T) {
+	rep, err := ComputeFIT(Sigmas{SDCFast: 1e-9, SDCThermal: 1e-9}, DataCenter(NYC()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SDC.ThermalShare() <= 0 {
+		t.Error("no thermal share")
+	}
+}
+
+func TestFacadeFleetPipeline(t *testing.T) {
+	site := AtAltitude("test site", 2000)
+	sigmas := Sigmas{SDCFast: 8e-7, SDCThermal: 8e-7, DUEFast: 3e-7, DUEThermal: 3e-7}
+	log, err := SimulateFleet(FleetConfig{
+		Classes: []NodeClass{
+			{Name: "a", Count: 500, Env: Environment{Location: site, ConcreteFloor: true}, Sigmas: sigmas},
+			{Name: "b", Count: 500, Env: DataCenter(site), Sigmas: sigmas},
+		},
+		Days:            60,
+		RainProbability: 0.3,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeFleet(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerClass) != 2 || len(rep.Comparisons) != 1 {
+		t.Errorf("report shape: %+v", rep)
+	}
+}
+
+func TestFacadeCheckpointPlan(t *testing.T) {
+	plan, err := PlanCheckpoints(FIT(3e6), FIT(4.5e6), 1800, []WeatherDay{
+		{Raining: false}, {Raining: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Days) != 2 {
+		t.Fatalf("plan days: %d", len(plan.Days))
+	}
+	if plan.Days[1].IntervalSeconds >= plan.Days[0].IntervalSeconds {
+		t.Error("rainy interval should be shorter")
+	}
+}
+
+func TestFacadeDossierAndJob(t *testing.T) {
+	d, err := DeviceByName("TitanX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assess(d, []string{"HotSpot"}, QuickBudget(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := ReliabilityDossier(a, []Environment{DataCenter(NYC())}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md) == 0 {
+		t.Fatal("empty dossier")
+	}
+	res, err := SimulateJob(JobParams{
+		MTBFSeconds:       6 * 3600,
+		IntervalSeconds:   1800,
+		CheckpointSeconds: 60,
+		RestartSeconds:    300,
+		HorizonSeconds:    30 * 86400,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goodput <= 0 || res.Goodput >= 1 {
+		t.Errorf("goodput = %v", res.Goodput)
+	}
+}
