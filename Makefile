@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the tier-1 gate plus vet and the
+# race detector; `make bench` regenerates every paper artifact and leaves a
+# BENCH_telemetry.json snapshot from the telemetry registry.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package regenerates every paper artifact and far exceeds
+# go test's default 10m deadline under the race detector's ~10x slowdown.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+clean:
+	rm -f BENCH_telemetry.json

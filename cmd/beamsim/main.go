@@ -18,6 +18,7 @@ import (
 
 	"neutronsim"
 	"neutronsim/internal/device"
+	"neutronsim/internal/telemetry"
 )
 
 func main() {
@@ -38,9 +39,14 @@ func run(args []string) error {
 	boost := fs.Float64("boost", 50, "sensitivity boost (ratios preserved; sigmas corrected)")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	list := fs.Bool("list", false, "list devices and benchmarks, then exit")
+	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.Start("beamsim"); err != nil {
+		return err
+	}
+	defer obs.Close()
 	if *list {
 		fmt.Println("devices:")
 		for _, d := range neutronsim.Devices() {
@@ -111,5 +117,5 @@ func run(args []string) error {
 	if !math.IsNaN(due) {
 		fmt.Printf("fast:thermal DUE ratio = %.2f  [%.2f, %.2f]\n", due, dueLo, dueHi)
 	}
-	return nil
+	return obs.Close()
 }

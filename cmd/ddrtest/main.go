@@ -14,6 +14,7 @@ import (
 
 	"neutronsim/internal/memsim"
 	"neutronsim/internal/spectrum"
+	"neutronsim/internal/telemetry"
 )
 
 func main() {
@@ -30,9 +31,14 @@ func run(args []string) error {
 	hours := fs.Float64("hours", 10, "beam hours")
 	ecc := fs.Bool("ecc", false, "enable SECDED accounting")
 	seed := fs.Uint64("seed", 1, "campaign seed")
+	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.Start("ddrtest"); err != nil {
+		return err
+	}
+	defer obs.Close()
 	var spec memsim.ModuleSpec
 	switch *module {
 	case "ddr3":
@@ -88,5 +94,5 @@ func run(args []string) error {
 		fmt.Printf("SECDED: corrected %d words, uncorrectable %d words\n",
 			res.ECCCorrected, res.ECCUncorrectable)
 	}
-	return nil
+	return obs.Close()
 }

@@ -16,6 +16,7 @@ import (
 
 	"neutronsim"
 	"neutronsim/internal/report"
+	"neutronsim/internal/telemetry"
 )
 
 func main() {
@@ -38,9 +39,14 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	markdown := fs.Bool("markdown", false, "emit a full Markdown reliability dossier instead of the table")
 	nodes := fs.Int("nodes", 0, "system node count for the dossier's checkpoint section")
+	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.Start("fitreport"); err != nil {
+		return err
+	}
+	defer obs.Close()
 	d, err := neutronsim.DeviceByName(*deviceName)
 	if err != nil {
 		return err
@@ -85,7 +91,7 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Print(md)
-		return nil
+		return obs.Close()
 	}
 	rep, err := a.FIT(env)
 	if err != nil {
@@ -101,5 +107,5 @@ func run(args []string) error {
 		float64(rep.DUE.Fast), float64(rep.DUE.Thermal), float64(rep.DUE.Total()), rep.DUE.ThermalShare()*100)
 	fmt.Printf("\ntotal: %v  (MTBF %.3g h)\n", rep.Total(), rep.Total().MTBF())
 	fmt.Printf("ignoring thermals underestimates the rate by %.2fx\n", rep.UnderestimationFactor())
-	return nil
+	return obs.Close()
 }

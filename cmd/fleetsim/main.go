@@ -15,6 +15,7 @@ import (
 
 	"neutronsim/internal/fit"
 	"neutronsim/internal/fleet"
+	"neutronsim/internal/telemetry"
 )
 
 func main() {
@@ -31,9 +32,14 @@ func run(args []string) error {
 	rain := fs.Float64("rain", 0.25, "daily rain probability")
 	altitude := fs.Float64("altitude", 2231, "site altitude in meters")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.Start("fleetsim"); err != nil {
+		return err
+	}
+	defer obs.Close()
 	site := fit.AtAltitude(fmt.Sprintf("site @ %.0f m", *altitude), *altitude)
 	sigmas := fit.Sigmas{ // node-level: accelerator plus unprotected DRAM
 		SDCFast: 8e-7, SDCThermal: 8e-7,
@@ -84,5 +90,5 @@ func run(args []string) error {
 		fmt.Printf("weather test rainy vs dry hours: rate ratio %.3f (p=%.3g) — %s\n",
 			rep.RainEffect.Ratio, rep.RainEffect.PValue, verdict)
 	}
-	return nil
+	return obs.Close()
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"neutronsim/internal/experiments"
+	"neutronsim/internal/telemetry"
 )
 
 func main() {
@@ -34,9 +36,14 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory to write CSV files into (optional)")
 	svgDir := fs.String("svg", "", "directory to write SVG figures into (optional)")
 	ablations := fs.Bool("ablations", false, "with -experiment all, also run the A1..A7 ablations")
+	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.Start("paperfigs"); err != nil {
+		return err
+	}
+	defer obs.Close()
 	var scale experiments.Scale
 	switch *scaleName {
 	case "quick":
@@ -69,12 +76,23 @@ func run(args []string) error {
 			return err
 		}
 	}
-	for _, d := range todo {
+	allStart := time.Now()
+	for i, d := range todo {
 		start := time.Now()
+		_, span := telemetry.StartSpan(context.Background(), "paperfigs."+d.ID)
 		tbl, err := d.Run(scale, *seed)
+		span.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.ID, err)
 		}
+		telemetry.Count("paperfigs.experiments_run", 1)
+		telemetry.ReportProgress(telemetry.ProgressUpdate{
+			Component: "paperfigs",
+			Phase:     d.ID,
+			Done:      float64(i + 1),
+			Total:     float64(len(todo)),
+			Elapsed:   time.Since(allStart),
+		})
 		fmt.Printf("%s(%s scale, %.1fs) — paper artifact: %s\n\n",
 			tbl.Format(), scale, time.Since(start).Seconds(), d.Artifact)
 		if *csvDir != "" {
@@ -99,7 +117,7 @@ func run(args []string) error {
 			}
 		}
 	}
-	return nil
+	return obs.Close()
 }
 
 // lookup resolves an experiment or ablation id.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -18,10 +19,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
+	"neutronsim/internal/telemetry"
 )
 
 func main() {
@@ -49,9 +52,14 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluators")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the grid as CSV")
+	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.Start("sweep"); err != nil {
+		return err
+	}
+	defer obs.Close()
 	if *boronMin <= 0 || *boronMax < *boronMin || *boronSteps < 1 {
 		return fmt.Errorf("invalid boron grid")
 	}
@@ -89,7 +97,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
-	return nil
+	return obs.Close()
 }
 
 // buildGrid enumerates the log-spaced design points.
@@ -116,6 +124,10 @@ func buildGrid(bMin, bMax float64, bSteps int, qMin, qMax float64, qSteps int) [
 // point draws from its own split RNG stream, so the result is independent
 // of scheduling.
 func evaluate(points []*point, samples, workers int, seed uint64) error {
+	_, span := telemetry.StartSpan(context.Background(), "sweep.evaluate")
+	defer span.End()
+	evalStart := time.Now()
+	evaluated := telemetry.Default.Counter("sweep.points_evaluated")
 	chip := spectrum.ChipIR()
 	rotax := spectrum.ROTAX()
 	// Pre-split one stream per point for scheduling-independent results.
@@ -159,6 +171,13 @@ func evaluate(points []*point, samples, workers int, seed uint64) error {
 				}
 				p.sigmaThermal = float64(sigmaT)
 				p.sigmaFast = float64(sigmaF)
+				evaluated.Inc()
+				telemetry.ReportProgress(telemetry.ProgressUpdate{
+					Component: "sweep",
+					Done:      float64(evaluated.Value()),
+					Total:     float64(len(points)),
+					Elapsed:   time.Since(evalStart),
+				})
 			}
 		}()
 	}

@@ -16,6 +16,7 @@ import (
 	"neutronsim/internal/detector"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/stats"
+	"neutronsim/internal/telemetry"
 )
 
 func main() {
@@ -32,9 +33,14 @@ func run(args []string) error {
 	flux := fs.Float64("flux", 5, "ambient thermal flux (n/cm²/h)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	plot := fs.Bool("plot", false, "print an ASCII plot of the daily means")
+	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.Start("tin2"); err != nil {
+		return err
+	}
+	defer obs.Close()
 	s := rng.New(*seed)
 	det, err := detector.New(detector.Config{}, s)
 	if err != nil {
@@ -81,5 +87,5 @@ func run(args []string) error {
 	} else {
 		fmt.Printf("no significant step detected (z=%.1f)\n", res.Change.ZScore)
 	}
-	return nil
+	return obs.Close()
 }

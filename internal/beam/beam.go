@@ -6,9 +6,11 @@
 package beam
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/faultinject"
@@ -16,6 +18,7 @@ import (
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/stats"
+	"neutronsim/internal/telemetry"
 	"neutronsim/internal/units"
 	"neutronsim/internal/workload"
 )
@@ -135,10 +138,18 @@ func (is *interactionSampler) sample(s *rng.Stream) units.Energy {
 
 // Run executes the campaign and reports counts and cross sections.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with a caller context, so the campaign's telemetry
+// spans nest under any span the caller has open (e.g. core.assess).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	ctx, campaign := telemetry.StartSpan(ctx, "beam.campaign")
+	defer campaign.End()
 	w, err := workload.New(cfg.WorkloadName)
 	if err != nil {
 		return nil, err
@@ -148,7 +159,10 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, cal := telemetry.StartSpan(ctx, "beam.calibrate")
 	sampler := buildInteractionSampler(cfg.Device, cfg.Beam, cfg.CalSamples, s.Split())
+	cal.End()
+	telemetry.Count("beam.neutrons_sampled", int64(cfg.CalSamples))
 
 	flux := float64(cfg.Beam.TotalFlux()) * cfg.Derating
 	area := cfg.Device.DieAreaCm2
@@ -182,11 +196,22 @@ func Run(cfg Config) (*Result, error) {
 	res.Fluence = units.Fluence(flux * runSeconds * float64(runs))
 
 	steps := w.Steps()
+	reg := telemetry.Default
+	cInteractions := reg.Counter("beam.interactions")
+	cSamples := reg.Counter("beam.neutrons_sampled")
+	cSDC := reg.Counter("beam.sdc_events")
+	cDUE := reg.Counter("beam.due_events")
+	_, runSpan := telemetry.StartSpan(ctx, "beam.runs")
+	runStart := time.Now()
 	// FPGA configuration corruption persists across runs until an output
 	// error is seen and the bitstream is reloaded (§V).
 	var persistent []faultinject.Timed
+	var totalInteractions int64
 	for r := 0; r < runs; r++ {
 		nInt := s.Poisson(lambda)
+		totalInteractions += nInt
+		cInteractions.Add(nInt)
+		cSamples.Add(nInt)
 		var faults []faultinject.Timed
 		faults = append(faults, persistent...)
 		for k := int64(0); k < nInt; k++ {
@@ -206,24 +231,44 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if len(faults) == 0 {
 			res.Masked++
-			continue
-		}
-		switch inj.Run(faults, s).Outcome {
-		case faultinject.OutcomeSDC:
-			res.SDC++
-			if len(persistent) > 0 {
-				persistent = persistent[:0] // reprogram the FPGA
-				res.Reprograms++
+		} else {
+			switch inj.Run(faults, s).Outcome {
+			case faultinject.OutcomeSDC:
+				res.SDC++
+				cSDC.Inc()
+				if len(persistent) > 0 {
+					persistent = persistent[:0] // reprogram the FPGA
+					res.Reprograms++
+				}
+			case faultinject.OutcomeDUE:
+				res.DUE++
+				cDUE.Inc()
+				if len(persistent) > 0 {
+					persistent = persistent[:0]
+					res.Reprograms++
+				}
+			default:
+				res.Masked++
 			}
-		case faultinject.OutcomeDUE:
-			res.DUE++
-			if len(persistent) > 0 {
-				persistent = persistent[:0]
-				res.Reprograms++
-			}
-		default:
-			res.Masked++
 		}
+		telemetry.ReportProgress(telemetry.ProgressUpdate{
+			Component: "beam",
+			Device:    res.Device,
+			Beam:      res.Beam,
+			Done:      float64(r + 1),
+			Total:     float64(runs),
+			Fluence:   flux * runSeconds * float64(r+1),
+			Events:    res.SDC + res.DUE,
+			Elapsed:   time.Since(runStart),
+		})
+	}
+	runSpan.End()
+	reg.Counter("beam.runs").Add(int64(runs))
+	reg.Counter("beam.upsets").Add(res.Upsets)
+	reg.Counter("beam.masked").Add(res.Masked)
+	if elapsed := time.Since(runStart).Seconds(); elapsed > 0 {
+		reg.Gauge("beam.samples_per_sec").Set(
+			(float64(cfg.CalSamples) + float64(totalInteractions)) / elapsed)
 	}
 	if res.SDCCrossSection, err = stats.EstimateRate(res.SDC, float64(res.Fluence)); err != nil {
 		return nil, err

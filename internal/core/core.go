@@ -6,14 +6,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"neutronsim/internal/beam"
 	"neutronsim/internal/device"
 	"neutronsim/internal/fit"
 	"neutronsim/internal/spectrum"
+	"neutronsim/internal/telemetry"
 	"neutronsim/internal/units"
 	"neutronsim/internal/workload"
 )
@@ -75,9 +78,19 @@ type Assessment struct {
 // Assess runs the full matched-campaign protocol on a device. When
 // workloads is nil, the paper's assignment for the device class is used.
 func Assess(d *device.Device, workloads []string, b Budget, seed uint64) (*Assessment, error) {
+	return assess(context.Background(), d, workloads, b, seed)
+}
+
+func assess(ctx context.Context, d *device.Device, workloads []string, b Budget, seed uint64) (*Assessment, error) {
 	if d == nil {
 		return nil, errors.New("core: nil device")
 	}
+	ctx, span := telemetry.StartSpan(ctx, "core.assess")
+	defer span.End()
+	start := time.Now()
+	defer func() {
+		telemetry.Default.Histogram("core.assess_seconds").Observe(time.Since(start).Seconds())
+	}()
 	b = b.withDefaults()
 	if workloads == nil {
 		workloads = workload.ForDeviceKind(d.Kind.String())
@@ -99,7 +112,7 @@ func Assess(d *device.Device, workloads []string, b Budget, seed uint64) (*Asses
 	}
 	var fastResults, thermalResults []*beam.Result
 	for i, wl := range workloads {
-		fast, err := beam.Run(beam.Config{
+		fast, err := beam.RunContext(ctx, beam.Config{
 			Device:          &dut,
 			WorkloadName:    wl,
 			Beam:            spectrum.ChipIR(),
@@ -109,7 +122,7 @@ func Assess(d *device.Device, workloads []string, b Budget, seed uint64) (*Asses
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%s ChipIR: %w", d.Name, wl, err)
 		}
-		thermal, err := beam.Run(beam.Config{
+		thermal, err := beam.RunContext(ctx, beam.Config{
 			Device:          &dut,
 			WorkloadName:    wl,
 			Beam:            spectrum.ROTAX(),

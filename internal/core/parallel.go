@@ -1,17 +1,25 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"neutronsim/internal/device"
+	"neutronsim/internal/telemetry"
 )
 
 // AssessMany runs Assess for several devices concurrently with a bounded
 // worker pool. Each device gets its own deterministic seed derived from
 // the base seed and its index, so the results are identical to running the
 // assessments sequentially — parallelism only changes wall-clock time.
+//
+// On failure the returned error joins every per-device error (in device
+// order), and the result slice is still returned with the successful
+// assessments filled in and nil entries for the failed devices, so callers
+// can keep partial campaigns.
 func AssessMany(devices []*device.Device, b Budget, seed uint64, parallelism int) ([]*Assessment, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("core: no devices")
@@ -22,26 +30,28 @@ func AssessMany(devices []*device.Device, b Budget, seed uint64, parallelism int
 	if parallelism > len(devices) {
 		parallelism = len(devices)
 	}
+	ctx, span := telemetry.StartSpan(context.Background(), "core.assess_many")
+	defer span.End()
+	busy := telemetry.Default.Gauge("core.workers_busy")
+	assessed := telemetry.Default.Counter("core.devices_assessed")
 	results := make([]*Assessment, len(devices))
+	errs := make([]error, len(devices))
 	indices := make(chan int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				a, err := Assess(devices[i], nil, b, DeviceSeed(seed, i))
+				busy.Add(1)
+				a, err := assess(ctx, devices[i], nil, b, DeviceSeed(seed, i))
+				busy.Add(-1)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: %s: %w", devices[i].Name, err)
-					}
-					mu.Unlock()
+					errs[i] = fmt.Errorf("core: %s: %w", devices[i].Name, err)
 					continue
 				}
 				results[i] = a
+				assessed.Inc()
 			}
 		}()
 	}
@@ -50,10 +60,7 @@ func AssessMany(devices []*device.Device, b Budget, seed uint64, parallelism int
 	}
 	close(indices)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
 // DeviceSeed derives the per-device campaign seed used by AssessMany, so

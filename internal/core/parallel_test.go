@@ -34,10 +34,36 @@ func TestAssessManyValidation(t *testing.T) {
 func TestAssessManyPropagatesErrors(t *testing.T) {
 	bad := device.K20()
 	bad.Name = "" // fails validation inside the campaign
-	_, err := AssessMany([]*device.Device{device.K20(), bad},
+	res, err := AssessMany([]*device.Device{device.K20(), bad},
 		Budget{FastSeconds: 60, ThermalSeconds: 60, Boost: 50}, 1, 2)
 	if err == nil {
-		t.Error("invalid device did not surface an error")
+		t.Fatal("invalid device did not surface an error")
+	}
+	if len(res) != 2 || res[0] == nil {
+		t.Error("partial results dropped: healthy device's assessment missing")
+	}
+	if res != nil && res[1] != nil {
+		t.Error("failed device produced a non-nil assessment")
+	}
+}
+
+func TestAssessManyJoinsAllErrors(t *testing.T) {
+	badA := device.K20()
+	badA.Name = ""
+	badB := device.TitanX()
+	badB.Name = ""
+	badB.DieAreaCm2 = -1
+	_, err := AssessMany([]*device.Device{badA, device.K20(), badB},
+		Budget{FastSeconds: 60, ThermalSeconds: 60, Boost: 50}, 1, 3)
+	if err == nil {
+		t.Fatal("invalid devices did not surface an error")
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("error %T does not unwrap to a list", err)
+	}
+	if n := len(joined.Unwrap()); n != 2 {
+		t.Errorf("joined %d errors, want 2: %v", n, err)
 	}
 }
 

@@ -10,13 +10,16 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"neutronsim/internal/fit"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/stats"
+	"neutronsim/internal/telemetry"
 	"neutronsim/internal/units"
 )
 
@@ -110,6 +113,9 @@ func Simulate(cfg Config) (*Log, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	_, span := telemetry.StartSpan(context.Background(), "fleet.simulate")
+	defer span.End()
+	simStart := time.Now()
 	s := rng.New(cfg.Seed)
 	log := &Log{NodeHours: map[string]float64{}, Days: cfg.Days}
 	// Precompute per-class hourly event rates for dry and rainy weather.
@@ -142,6 +148,13 @@ func Simulate(cfg Config) (*Log, error) {
 		if rainy {
 			log.RainyDays++
 		}
+		telemetry.ReportProgress(telemetry.ProgressUpdate{
+			Component: "fleet",
+			Done:      float64(day + 1),
+			Total:     float64(cfg.Days),
+			Events:    int64(len(log.Entries)),
+			Elapsed:   time.Since(simStart),
+		})
 		for hour := 0; hour < 24; hour++ {
 			h := day*24 + hour
 			for i, cl := range cfg.Classes {
@@ -167,6 +180,15 @@ func Simulate(cfg Config) (*Log, error) {
 			}
 		}
 	}
+	reg := telemetry.Default
+	reg.Counter("fleet.log_entries").Add(int64(len(log.Entries)))
+	reg.Counter("fleet.rainy_days").Add(int64(log.RainyDays))
+	reg.Counter("fleet.days_simulated").Add(int64(cfg.Days))
+	total := 0.0
+	for _, h := range log.NodeHours {
+		total += h
+	}
+	reg.Gauge("fleet.node_hours").Add(total)
 	return log, nil
 }
 
@@ -205,6 +227,9 @@ func Analyze(log *Log) (*Report, error) {
 	if log == nil || len(log.NodeHours) == 0 {
 		return nil, errors.New("fleet: empty log")
 	}
+	_, span := telemetry.StartSpan(context.Background(), "fleet.analyze")
+	defer span.End()
+	telemetry.Count("fleet.entries_analyzed", int64(len(log.Entries)))
 	counts := map[string]*ClassReport{}
 	names := make([]string, 0, len(log.NodeHours))
 	for name, hours := range log.NodeHours {

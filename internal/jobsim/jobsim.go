@@ -7,11 +7,13 @@
 package jobsim
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"neutronsim/internal/checkpoint"
 	"neutronsim/internal/rng"
+	"neutronsim/internal/telemetry"
 )
 
 // Params describes one machine-job configuration.
@@ -72,6 +74,8 @@ func Simulate(p Params, s *rng.Stream) (Result, error) {
 	if s == nil {
 		return Result{}, errors.New("jobsim: nil rng stream")
 	}
+	_, span := telemetry.StartSpan(context.Background(), "jobsim.simulate")
+	defer span.End()
 	var res Result
 	now := 0.0
 	rate := 1 / p.MTBFSeconds
@@ -122,6 +126,11 @@ func Simulate(p Params, s *rng.Stream) (Result, error) {
 		}
 	}
 	res.Goodput = res.UsefulSeconds / p.HorizonSeconds
+	reg := telemetry.Default
+	reg.Counter("jobsim.failures").Add(int64(res.Failures))
+	reg.Counter("jobsim.checkpoints").Add(int64(res.Checkpoints))
+	reg.Counter("jobsim.runs").Inc()
+	reg.Gauge("jobsim.useful_seconds").Add(res.UsefulSeconds)
 	return res, nil
 }
 

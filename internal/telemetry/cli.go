@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// CLI wires the shared observability flags into a command. Every cmd/*
+// binary binds the same three flags so campaigns are observable the same
+// way everywhere:
+//
+//	-obs-addr host:port   serve expvar JSON and pprof while running
+//	-metrics-out FILE     write a telemetry snapshot JSON at exit
+//	-progress             print periodic campaign status to stderr
+type CLI struct {
+	ObsAddr    string
+	MetricsOut string
+	Progress   bool
+
+	program string
+	server  *http.Server
+	closed  bool
+}
+
+// BindFlags registers the observability flags on fs and returns the
+// handle the command uses to start and stop the facilities.
+func BindFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.ObsAddr, "obs-addr", "", "serve expvar JSON and pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a telemetry snapshot JSON file at exit")
+	fs.BoolVar(&c.Progress, "progress", false, "print periodic campaign progress lines to stderr")
+	return c
+}
+
+// Start activates the facilities selected by the parsed flags. Call it
+// once after flag parsing; pair it with a deferred Close.
+func (c *CLI) Start(program string) error {
+	c.program = program
+	Default.SetProgram(program)
+	if c.Progress {
+		EnableProgress(os.Stderr, 2*time.Second)
+	}
+	if c.ObsAddr != "" {
+		srv, addr, err := Serve(c.ObsAddr, Default)
+		if err != nil {
+			return fmt.Errorf("observability server: %w", err)
+		}
+		c.server = srv
+		fmt.Fprintf(os.Stderr, "%s: serving expvar at http://%s/debug/vars and pprof at http://%s/debug/pprof/\n",
+			program, addr, addr)
+	}
+	return nil
+}
+
+// Close writes the snapshot (if requested), stops the progress reporter
+// and shuts down the observability server. It is idempotent so commands
+// can both defer it and return its error on the success path.
+func (c *CLI) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	DisableProgress()
+	var err error
+	if c.MetricsOut != "" {
+		err = Default.WriteSnapshot(c.MetricsOut)
+	}
+	if c.server != nil {
+		if cerr := c.server.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

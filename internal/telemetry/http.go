@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// servedRegistry backs the process-wide "telemetry" expvar; expvar.Publish
+// panics on re-registration, so the var is published once and indirects
+// through this pointer (Serve may be called again after a server closes).
+var (
+	servedRegistry atomic.Pointer[Registry]
+	publishOnce    sync.Once
+)
+
+// Serve starts an observability HTTP server on addr exposing
+//
+//   - /debug/vars — expvar-compatible JSON including a "telemetry" var
+//     with this registry's full snapshot,
+//   - /debug/telemetry — the bare snapshot JSON, and
+//   - /debug/pprof/ — the standard net/http/pprof profiles.
+//
+// It returns the running server and the bound address (useful with ":0").
+// The caller owns shutdown via (*http.Server).Close.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	servedRegistry.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			if reg := servedRegistry.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(enc)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

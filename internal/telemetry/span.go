@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// spanStats aggregates the completed executions of one span path.
+type spanStats struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	minNs   atomic.Int64
+	maxNs   atomic.Int64
+}
+
+// Span measures the wall time of one phase. Spans started from a context
+// that already carries a span nest under it, so the registry accumulates
+// hierarchical rollups keyed by slash-joined paths such as
+// "core.assess/beam.campaign/beam.runs".
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+	ended atomic.Bool
+}
+
+type spanCtxKey struct{}
+
+// StartSpan opens a span named name in registry r, nesting under any span
+// already in ctx. The returned context carries the new span for children.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	path := name
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent.reg == r {
+		path = parent.path + "/" + name
+	}
+	sp := &Span{reg: r, path: path, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// StartSpan opens a span in the Default registry.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return Default.StartSpan(ctx, name)
+}
+
+// End records the span's duration into its path's rollup. Safe to call
+// more than once; only the first call records.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.reg.recordSpan(s.path, time.Since(s.start))
+}
+
+// Path returns the span's hierarchical identifier.
+func (s *Span) Path() string { return s.path }
+
+func (r *Registry) recordSpan(path string, d time.Duration) {
+	r.mu.RLock()
+	st := r.spans[path]
+	r.mu.RUnlock()
+	if st == nil {
+		r.mu.Lock()
+		if st = r.spans[path]; st == nil {
+			st = &spanStats{}
+			st.minNs.Store(math.MaxInt64)
+			st.maxNs.Store(math.MinInt64)
+			r.spans[path] = st
+		}
+		r.mu.Unlock()
+	}
+	ns := d.Nanoseconds()
+	st.count.Add(1)
+	st.totalNs.Add(ns)
+	for {
+		old := st.minNs.Load()
+		if ns >= old || st.minNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := st.maxNs.Load()
+		if ns <= old || st.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}

@@ -11,12 +11,14 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"neutronsim/internal/materials"
 	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
+	"neutronsim/internal/telemetry"
 	"neutronsim/internal/units"
 )
 
@@ -152,12 +154,20 @@ func SimulateWithOptions(slabs []Slab, n int, source func(*rng.Stream) units.Ene
 	for i, sl := range slabs {
 		bounds[i+1] = bounds[i] + sl.Thickness
 	}
+	_, span := telemetry.StartSpan(context.Background(), "transport.simulate")
+	defer span.End()
 	tally := newTally()
 	tally.Incident = n
 	kT := float64(units.RoomTemperature.KT())
 	for i := 0; i < n; i++ {
 		trackOne(slabs, bounds, source(s), s, kT, tally, opts)
 	}
+	reg := telemetry.Default
+	reg.Counter("transport.neutrons").Add(int64(n))
+	reg.Counter("transport.collisions").Add(tally.Collisions)
+	reg.Counter("transport.absorbed").Add(int64(tally.Absorbed))
+	reg.Counter("transport.transmitted").Add(int64(tally.TransmittedTotal()))
+	reg.Counter("transport.reflected").Add(int64(tally.ReflectedTotal()))
 	return tally, nil
 }
 
