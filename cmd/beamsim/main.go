@@ -5,7 +5,7 @@
 // Usage:
 //
 //	beamsim [-device K20 | -device-file my.json] [-workloads MxM,LUD]
-//	        [-fast 600] [-thermal 3600] [-boost 50] [-seed N]
+//	        [-fast 600] [-thermal 3600] [-boost 50] [-seed N] [-shards N]
 //	        [-dump-device path]   # write a catalog device as a JSON template
 package main
 
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 
 	"neutronsim"
@@ -37,6 +38,7 @@ func run(args []string) error {
 	fastSeconds := fs.Float64("fast", 600, "ChipIR beam seconds")
 	thermalSeconds := fs.Float64("thermal", 3600, "ROTAX beam seconds")
 	boost := fs.Float64("boost", 50, "sensitivity boost (ratios preserved; sigmas corrected)")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "concurrent campaign shard executors (never affects results)")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	list := fs.Bool("list", false, "list devices and benchmarks, then exit")
 	obs := telemetry.BindFlags(fs)
@@ -93,6 +95,7 @@ func run(args []string) error {
 		FastSeconds:    *fastSeconds,
 		ThermalSeconds: *thermalSeconds,
 		Boost:          *boost,
+		Shards:         *shards,
 	}
 	a, err := neutronsim.Assess(d, wls, budget, *seed)
 	if err != nil {

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	ddrtest [-module ddr3|ddr4] [-band thermal|fast] [-hours 10] [-ecc] [-seed N]
+//	ddrtest [-module ddr3|ddr4] [-band thermal|fast] [-hours 10] [-ecc]
+//	        [-seed N] [-shards N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"neutronsim/internal/memsim"
 	"neutronsim/internal/spectrum"
@@ -31,6 +33,7 @@ func run(args []string) error {
 	hours := fs.Float64("hours", 10, "beam hours")
 	ecc := fs.Bool("ecc", false, "enable SECDED accounting")
 	seed := fs.Uint64("seed", 1, "campaign seed")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "concurrent campaign shard executors (never affects results)")
 	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +56,7 @@ func run(args []string) error {
 		DurationSeconds: *hours * 3600,
 		ECC:             *ecc,
 		Seed:            *seed,
+		Shards:          *shards,
 	}
 	switch *band {
 	case "thermal":

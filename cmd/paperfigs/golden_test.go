@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neutronsim/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenTable is the serialized form of an experiment table. Figures are
+// excluded: their float slices duplicate the rows and bloat the goldens.
+type goldenTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+func marshalTable(t *testing.T, tbl experiments.Table) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(goldenTable{
+		ID: tbl.ID, Title: tbl.Title, Header: tbl.Header,
+		Rows: tbl.Rows, Notes: tbl.Notes,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestGoldenExperiments pins the full small-budget output of the
+// deterministic paper experiments. The campaigns behind them run on the
+// sharded engine, so these goldens also guard the engine's seed schedule:
+// any change to shard planning or stream derivation shows up here as a
+// diff. Regenerate intentionally with: go test ./cmd/paperfigs -run Golden -update
+func TestGoldenExperiments(t *testing.T) {
+	const seed = 42
+	for _, id := range []string{"E1", "E8", "E9"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			d, err := experiments.ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := d.Run(experiments.Quick, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := marshalTable(t, tbl)
+
+			// The golden comparison is only meaningful if the experiment
+			// is run-to-run deterministic in this process.
+			again, err := d.Run(experiments.Quick, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rerun := marshalTable(t, again); !bytes.Equal(got, rerun) {
+				t.Fatal("experiment is not deterministic; golden comparison would flake")
+			}
+
+			path := filepath.Join("testdata", strings.ToLower(id)+"_quick.golden.json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output drifted from golden %s.\nIf the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	sweep [-boron-min 1e12] [-boron-max 1e15] [-boron-steps 7]
 //	      [-qcrit-min 1] [-qcrit-max 16] [-qcrit-steps 5]
-//	      [-samples 60000] [-workers N] [-seed N] [-csv file]
+//	      [-samples 60000] [-shards N] [-seed N] [-csv file]
 package main
 
 import (
@@ -18,10 +18,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"neutronsim/internal/device"
+	"neutronsim/internal/engine"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/telemetry"
@@ -49,7 +49,8 @@ func run(args []string) error {
 	qcritMax := fs.Float64("qcrit-max", 16, "maximum critical charge (fC)")
 	qcritSteps := fs.Int("qcrit-steps", 5, "Qcrit grid points (log-spaced)")
 	samples := fs.Int("samples", 60000, "Monte Carlo energies per cross section")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent evaluators")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "concurrent design-point evaluators (never affects results)")
+	workers := fs.Int("workers", 0, "deprecated alias for -shards")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the grid as CSV")
 	obs := telemetry.BindFlags(fs)
@@ -69,12 +70,22 @@ func run(args []string) error {
 	if *samples <= 0 {
 		return fmt.Errorf("samples must be positive")
 	}
-	if *workers < 1 {
-		*workers = 1
+	shardsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			shardsSet = true
+		}
+	})
+	pool := *shards
+	if !shardsSet && *workers > 0 {
+		pool = *workers // honor the deprecated spelling when -shards is absent
+	}
+	if pool < 1 {
+		pool = 1
 	}
 
 	points := buildGrid(*boronMin, *boronMax, *boronSteps, *qcritMin, *qcritMax, *qcritSteps)
-	if err := evaluate(points, *samples, *workers, *seed); err != nil {
+	if err := evaluate(points, *samples, pool, *seed); err != nil {
 		return err
 	}
 
@@ -120,12 +131,10 @@ func buildGrid(bMin, bMax float64, bSteps int, qMin, qMax float64, qSteps int) [
 	return out
 }
 
-// evaluate fills in the cross sections with a bounded worker pool. Each
-// point draws from its own split RNG stream, so the result is independent
-// of scheduling.
+// evaluate fills in the cross sections on the sharded engine, one design
+// point per shard. Each point draws from its own split RNG stream, so the
+// result is independent of scheduling and of the worker count.
 func evaluate(points []*point, samples, workers int, seed uint64) error {
-	_, span := telemetry.StartSpan(context.Background(), "sweep.evaluate")
-	defer span.End()
 	evalStart := time.Now()
 	evaluated := telemetry.Default.Counter("sweep.points_evaluated")
 	chip := spectrum.ChipIR()
@@ -136,55 +145,40 @@ func evaluate(points []*point, samples, workers int, seed uint64) error {
 	for i := range streams {
 		streams[i] = root.Split()
 	}
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+	cfg := engine.Config{
+		Workers:   workers,
+		Grain:     1,
+		Name:      "sweep",
+		StreamFor: func(shard int) *rng.Stream { return streams[shard] },
+		OnShardDone: func(_ engine.Shard, done, total int) {
+			telemetry.ReportProgress(telemetry.ProgressUpdate{
+				Component: "sweep",
+				Done:      float64(done),
+				Total:     float64(total),
+				Elapsed:   time.Since(evalStart),
+			})
+		},
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				p := points[i]
-				d := device.K20() // planar SRAM-like template geometry
-				d.Name = "sweep"
-				d.Boron10PerCm2 = p.boron
-				d.QcritFC = p.qcrit
-				d.QcritSigmaFC = p.qcrit / 4
-				s := streams[i]
-				sigmaT, err := d.UpsetCrossSection(rotax.Sample, samples, s)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				sigmaF, err := d.UpsetCrossSection(chip.Sample, samples, s)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				p.sigmaThermal = float64(sigmaT)
-				p.sigmaFast = float64(sigmaF)
-				evaluated.Inc()
-				telemetry.ReportProgress(telemetry.ProgressUpdate{
-					Component: "sweep",
-					Done:      float64(evaluated.Value()),
-					Total:     float64(len(points)),
-					Elapsed:   time.Since(evalStart),
-				})
+	_, err := engine.Map(context.Background(), cfg, len(points), 1,
+		func(_ context.Context, sh engine.Shard) (struct{}, error) {
+			p := points[sh.Index]
+			d := device.K20() // planar SRAM-like template geometry
+			d.Name = "sweep"
+			d.Boron10PerCm2 = p.boron
+			d.QcritFC = p.qcrit
+			d.QcritSigmaFC = p.qcrit / 4
+			sigmaT, err := d.UpsetCrossSection(rotax.Sample, samples, sh.Stream)
+			if err != nil {
+				return struct{}{}, err
 			}
-		}()
-	}
-	for i := range points {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
-	return firstErr
+			sigmaF, err := d.UpsetCrossSection(chip.Sample, samples, sh.Stream)
+			if err != nil {
+				return struct{}{}, err
+			}
+			p.sigmaThermal = float64(sigmaT)
+			p.sigmaFast = float64(sigmaF)
+			evaluated.Inc()
+			return struct{}{}, nil
+		})
+	return err
 }

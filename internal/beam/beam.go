@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"neutronsim/internal/device"
+	"neutronsim/internal/engine"
 	"neutronsim/internal/faultinject"
 	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
@@ -45,6 +47,15 @@ type Config struct {
 	CalSamples int
 	// Injector tuning.
 	Inject faultinject.Config
+	// Shards caps how many campaign shards execute concurrently (default
+	// GOMAXPROCS). It never affects results — the shard decomposition and
+	// per-shard streams depend only on (Seed, ShardGrain); see
+	// internal/engine and DESIGN.md §9.
+	Shards int
+	// ShardGrain is the number of runs per shard (default 8192). It is
+	// part of the deterministic seed schedule: changing it re-partitions
+	// the campaign and re-derives every shard's stream.
+	ShardGrain int
 }
 
 func (c Config) withDefaults() Config {
@@ -141,8 +152,32 @@ func Run(cfg Config) (*Result, error) {
 	return RunContext(context.Background(), cfg)
 }
 
+// defaultShardGrain is the number of beam runs per engine shard. Large
+// enough that a shard amortizes its golden-workload replay setup, small
+// enough that auto-tuned campaigns (up to 2e6 runs) decompose into
+// hundreds of shards.
+const defaultShardGrain = 8192
+
+// shardTally accumulates one shard's private counts. Everything here is
+// shard-local; the campaign Result is assembled only after every shard has
+// finished, by summing tallies in shard order.
+type shardTally struct {
+	sdc, due, masked   int64
+	upsets, reprograms int64
+	interactions       int64
+	byBand             map[physics.EnergyBand]int64
+}
+
 // RunContext is Run with a caller context, so the campaign's telemetry
 // spans nest under any span the caller has open (e.g. core.assess).
+//
+// The runs loop executes on the sharded engine: each shard of ShardGrain
+// runs draws from its own stream (engine.StreamForShard(Seed, shard)) and
+// keeps its own injector and persistent-FPGA-corruption state, so the
+// result is identical for any Shards worker count — including 1, the
+// serial executor. Persistent configuration faults are carried run-to-run
+// within a shard and cleared at shard boundaries, operationally a periodic
+// blind bitstream reload every ShardGrain runs (DESIGN.md §9).
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -150,15 +185,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	ctx, campaign := telemetry.StartSpan(ctx, "beam.campaign")
 	defer campaign.End()
-	w, err := workload.New(cfg.WorkloadName)
-	if err != nil {
+	// Validate the workload name (and capture the golden output) before
+	// committing to the campaign.
+	if _, err := workload.New(cfg.WorkloadName); err != nil {
 		return nil, err
 	}
 	s := rng.New(cfg.Seed)
-	inj, err := faultinject.NewInjector(w, cfg.Seed, cfg.Inject)
-	if err != nil {
-		return nil, err
-	}
 	_, cal := telemetry.StartSpan(ctx, "beam.calibrate")
 	sampler := buildInteractionSampler(cfg.Device, cfg.Beam, cfg.CalSamples, s.Split())
 	cal.End()
@@ -195,74 +227,56 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	res.Runs = runs
 	res.Fluence = units.Fluence(flux * runSeconds * float64(runs))
 
-	steps := w.Steps()
-	reg := telemetry.Default
-	cInteractions := reg.Counter("beam.interactions")
-	cSamples := reg.Counter("beam.neutrons_sampled")
-	cSDC := reg.Counter("beam.sdc_events")
-	cDUE := reg.Counter("beam.due_events")
 	_, runSpan := telemetry.StartSpan(ctx, "beam.runs")
 	runStart := time.Now()
-	// FPGA configuration corruption persists across runs until an output
-	// error is seen and the bitstream is reloaded (§V).
-	var persistent []faultinject.Timed
-	var totalInteractions int64
-	for r := 0; r < runs; r++ {
-		nInt := s.Poisson(lambda)
-		totalInteractions += nInt
-		cInteractions.Add(nInt)
-		cSamples.Add(nInt)
-		var faults []faultinject.Timed
-		faults = append(faults, persistent...)
-		for k := int64(0); k < nInt; k++ {
-			e := sampler.sample(s)
-			f, upset := cfg.Device.InteractionUpset(e, s)
-			if !upset {
-				continue
-			}
-			res.Upsets++
-			res.FaultsByBand[f.Band]++
-			tf := faultinject.Timed{Step: s.Intn(steps), Fault: f}
-			faults = append(faults, tf)
-			if f.Target == device.TargetConfig {
-				tf.Step = 0 // a corrupted bitstream affects the whole run
-				persistent = append(persistent, tf)
-			}
-		}
-		if len(faults) == 0 {
-			res.Masked++
-		} else {
-			switch inj.Run(faults, s).Outcome {
-			case faultinject.OutcomeSDC:
-				res.SDC++
-				cSDC.Inc()
-				if len(persistent) > 0 {
-					persistent = persistent[:0] // reprogram the FPGA
-					res.Reprograms++
-				}
-			case faultinject.OutcomeDUE:
-				res.DUE++
-				cDUE.Inc()
-				if len(persistent) > 0 {
-					persistent = persistent[:0]
-					res.Reprograms++
-				}
-			default:
-				res.Masked++
-			}
-		}
-		telemetry.ReportProgress(telemetry.ProgressUpdate{
-			Component: "beam",
-			Device:    res.Device,
-			Beam:      res.Beam,
-			Done:      float64(r + 1),
-			Total:     float64(runs),
-			Fluence:   flux * runSeconds * float64(r+1),
-			Events:    res.SDC + res.DUE,
-			Elapsed:   time.Since(runStart),
-		})
-	}
+	// events is the only state shared across shards: an atomic SDC+DUE
+	// count feeding progress lines (Result fields are written only after
+	// the merge, so concurrent shards never touch them).
+	var events atomic.Int64
+	tallies, err := engine.Map(ctx, engine.Config{
+		Workers: cfg.Shards,
+		Grain:   cfg.ShardGrain,
+		Seed:    cfg.Seed,
+		Name:    "beam",
+		OnShardDone: func(_ engine.Shard, doneItems, totalItems int) {
+			telemetry.ReportProgress(telemetry.ProgressUpdate{
+				Component: "beam",
+				Device:    res.Device,
+				Beam:      res.Beam,
+				Done:      float64(doneItems),
+				Total:     float64(totalItems),
+				Fluence:   flux * runSeconds * float64(doneItems),
+				Events:    events.Load(),
+				Elapsed:   time.Since(runStart),
+			})
+		},
+	}, runs, defaultShardGrain, func(_ context.Context, sh engine.Shard) (shardTally, error) {
+		return runShard(cfg, sh, sampler, lambda, &events)
+	})
 	runSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	var totalInteractions int64
+	for _, tc := range tallies {
+		res.SDC += tc.sdc
+		res.DUE += tc.due
+		res.Masked += tc.masked
+		res.Upsets += tc.upsets
+		res.Reprograms += tc.reprograms
+		totalInteractions += tc.interactions
+		for b, n := range tc.byBand {
+			res.FaultsByBand[b] += n
+		}
+	}
+	// Post campaign totals once, atomically, after the merge — per-run
+	// counter traffic from inside shards would be racy bookkeeping at
+	// best and a contention hot spot at worst.
+	reg := telemetry.Default
+	reg.Counter("beam.interactions").Add(totalInteractions)
+	reg.Counter("beam.neutrons_sampled").Add(totalInteractions)
+	reg.Counter("beam.sdc_events").Add(res.SDC)
+	reg.Counter("beam.due_events").Add(res.DUE)
 	reg.Counter("beam.runs").Add(int64(runs))
 	reg.Counter("beam.upsets").Add(res.Upsets)
 	reg.Counter("beam.masked").Add(res.Masked)
@@ -277,6 +291,71 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// runShard executes one shard's slice of beam runs. Each shard owns a
+// fresh workload instance and injector (injectors replay mutable workload
+// state and are not safe to share), plus the shard-local list of
+// persistent FPGA configuration faults (§V): corruption survives from run
+// to run until an observed error triggers a bitstream reload, and is
+// dropped at the shard boundary.
+func runShard(cfg Config, sh engine.Shard, sampler *interactionSampler, lambda float64, events *atomic.Int64) (shardTally, error) {
+	w, err := workload.New(cfg.WorkloadName)
+	if err != nil {
+		return shardTally{}, err
+	}
+	inj, err := faultinject.NewInjector(w, cfg.Seed, cfg.Inject)
+	if err != nil {
+		return shardTally{}, err
+	}
+	steps := w.Steps()
+	s := sh.Stream
+	tc := shardTally{byBand: map[physics.EnergyBand]int64{}}
+	var persistent []faultinject.Timed
+	for r := 0; r < sh.Count; r++ {
+		nInt := s.Poisson(lambda)
+		tc.interactions += nInt
+		var faults []faultinject.Timed
+		faults = append(faults, persistent...)
+		for k := int64(0); k < nInt; k++ {
+			e := sampler.sample(s)
+			f, upset := cfg.Device.InteractionUpset(e, s)
+			if !upset {
+				continue
+			}
+			tc.upsets++
+			tc.byBand[f.Band]++
+			tf := faultinject.Timed{Step: s.Intn(steps), Fault: f}
+			faults = append(faults, tf)
+			if f.Target == device.TargetConfig {
+				tf.Step = 0 // a corrupted bitstream affects the whole run
+				persistent = append(persistent, tf)
+			}
+		}
+		if len(faults) == 0 {
+			tc.masked++
+			continue
+		}
+		switch inj.Run(faults, s).Outcome {
+		case faultinject.OutcomeSDC:
+			tc.sdc++
+			events.Add(1)
+			if len(persistent) > 0 {
+				persistent = persistent[:0] // reprogram the FPGA
+				tc.reprograms++
+			}
+		case faultinject.OutcomeDUE:
+			tc.due++
+			events.Add(1)
+			if len(persistent) > 0 {
+				persistent = persistent[:0]
+				tc.reprograms++
+			}
+		default:
+			tc.masked++
+		}
+	}
+	return tc, nil
 }
 
 // String renders a one-line summary.

@@ -1,0 +1,116 @@
+package beam
+
+import (
+	"math"
+	"testing"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+	"neutronsim/internal/units"
+)
+
+// checkSampler validates the invariants of a built interaction sampler:
+// the cumulative table is non-decreasing and finite, the mean probability
+// is a finite non-negative number, and every drawn energy is a member of
+// the calibration table.
+func checkSampler(t *testing.T, is *interactionSampler, n int, s *rng.Stream) {
+	t.Helper()
+	if len(is.energies) != n || len(is.cum) != n {
+		t.Fatalf("table sizes %d/%d, want %d", len(is.energies), len(is.cum), n)
+	}
+	prev := 0.0
+	for i, c := range is.cum {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("cum[%d] = %v", i, c)
+		}
+		if c < prev {
+			t.Fatalf("cum[%d] = %v < cum[%d] = %v: not monotonic", i, c, i-1, prev)
+		}
+		prev = c
+	}
+	if math.IsNaN(is.meanP) || math.IsInf(is.meanP, 0) || is.meanP < 0 {
+		t.Fatalf("meanP = %v", is.meanP)
+	}
+	members := make(map[units.Energy]bool, n)
+	for _, e := range is.energies {
+		members[e] = true
+	}
+	for i := 0; i < 64; i++ {
+		if e := is.sample(s); !members[e] {
+			t.Fatalf("sample returned %v, not in the calibration table", e)
+		}
+	}
+}
+
+// FuzzInteractionSampler drives buildInteractionSampler and its
+// cumulative-table binary search with fuzzed device parameters and table
+// sizes, on both beam spectra.
+func FuzzInteractionSampler(f *testing.F) {
+	f.Add(uint64(1), 4.6e13, 0.02, 1.0, uint16(200))
+	f.Add(uint64(2), 0.0, 1e-9, 0.5, uint16(1))
+	f.Add(uint64(3), 1e16, 1.0, 16.0, uint16(37))
+	f.Fuzz(func(t *testing.T, seed uint64, boron, sensFrac, qcrit float64, nRaw uint16) {
+		n := int(nRaw)%300 + 1
+		// Clamp the fuzzed parameters to their physical domains; the goal
+		// is to stress the table construction and search, not Validate.
+		if math.IsNaN(boron) || boron < 0 {
+			boron = 0
+		}
+		boron = math.Min(boron, 1e18)
+		if math.IsNaN(sensFrac) || sensFrac <= 0 {
+			sensFrac = 1e-12
+		}
+		sensFrac = math.Min(sensFrac, 1)
+		if math.IsNaN(qcrit) || qcrit <= 0 {
+			qcrit = 0.1
+		}
+		qcrit = math.Min(qcrit, 1e3)
+
+		d := device.K20()
+		d.Boron10PerCm2 = boron
+		d.SensitiveFraction = sensFrac
+		d.QcritFC = qcrit
+		d.QcritSigmaFC = qcrit / 4
+		for _, sp := range []spectrum.Spectrum{spectrum.ChipIR(), spectrum.ROTAX()} {
+			s := rng.New(seed)
+			is := buildInteractionSampler(d, sp, n, s.Split())
+			checkSampler(t, is, n, s)
+		}
+	})
+}
+
+// TestSamplerZeroProbabilityFallback pins the degenerate-table branch: when
+// every interaction probability is zero the sampler falls back to uniform
+// selection over the calibration energies instead of dividing by zero.
+func TestSamplerZeroProbabilityFallback(t *testing.T) {
+	energies := []units.Energy{1, 2, 4, 8}
+	is := &interactionSampler{energies: energies, cum: make([]float64, len(energies))}
+	s := rng.New(9)
+	seen := map[units.Energy]int{}
+	for i := 0; i < 4000; i++ {
+		seen[is.sample(s)]++
+	}
+	for _, e := range energies {
+		if seen[e] == 0 {
+			t.Errorf("uniform fallback never drew energy %v: %v", e, seen)
+		}
+	}
+}
+
+// TestSamplerSearchBoundary pins the u == total edge of the binary search:
+// SearchFloat64s can return len(cum), which must clamp to the last entry.
+func TestSamplerSearchBoundary(t *testing.T) {
+	is := &interactionSampler{
+		energies: []units.Energy{1, 2, 3},
+		cum:      []float64{0.25, 0.5, 0.5}, // trailing zero-probability entry
+		meanP:    0.5 / 3,
+	}
+	s := rng.New(11)
+	for i := 0; i < 1000; i++ {
+		e := is.sample(s)
+		if e != 1 && e != 2 && e != 3 {
+			t.Fatalf("sample returned %v", e)
+		}
+	}
+}

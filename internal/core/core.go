@@ -32,6 +32,10 @@ type Budget struct {
 	// statistics gathering. Both bands scale identically, so all ratios
 	// and (boost-corrected) cross sections are preserved. 0 means 1.
 	Boost float64
+	// Shards caps how many shards each beam campaign executes
+	// concurrently (default GOMAXPROCS). It never affects results; see
+	// internal/engine.
+	Shards int
 }
 
 // DefaultBudget gives production-quality statistics (hundreds of errors
@@ -118,6 +122,7 @@ func assess(ctx context.Context, d *device.Device, workloads []string, b Budget,
 			Beam:            spectrum.ChipIR(),
 			DurationSeconds: b.FastSeconds,
 			Seed:            seed + uint64(i)*2,
+			Shards:          b.Shards,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%s ChipIR: %w", d.Name, wl, err)
@@ -128,6 +133,7 @@ func assess(ctx context.Context, d *device.Device, workloads []string, b Budget,
 			Beam:            spectrum.ROTAX(),
 			DurationSeconds: b.ThermalSeconds,
 			Seed:            seed + uint64(i)*2 + 1,
+			Shards:          b.Shards,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%s ROTAX: %w", d.Name, wl, err)

@@ -1,0 +1,97 @@
+package engine_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"neutronsim/internal/beam"
+	"neutronsim/internal/device"
+	"neutronsim/internal/spectrum"
+)
+
+// benchCampaign is the workload both benchmarks share: a boosted K20/MxM
+// ChipIR campaign of 2000 runs at grain 64, i.e. ~32 shards for the pool.
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	d := device.K20()
+	d.SensitiveFraction = 0.2
+	cfg := beam.Config{
+		Device:          d,
+		WorkloadName:    "MxM",
+		Beam:            spectrum.ChipIR(),
+		DurationSeconds: 2000,
+		RunSeconds:      1,
+		Seed:            7,
+		CalSamples:      2000,
+		Shards:          workers,
+		ShardGrain:      64,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := beam.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Runs != 2000 {
+			b.Fatalf("campaign ran %d runs, want 2000", res.Runs)
+		}
+	}
+}
+
+// BenchmarkBeamCampaignSerial is the single-worker baseline.
+func BenchmarkBeamCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkBeamCampaign4Shards runs the identical campaign on a 4-worker
+// pool. The conformance suite proves the results are bit-identical; this
+// benchmark measures only the wall-clock effect.
+func BenchmarkBeamCampaign4Shards(b *testing.B) { benchCampaign(b, 4) }
+
+// TestMain records the serial-vs-4-worker comparison in BENCH_engine.json
+// at the repo root when benchmarks run, following the BENCH_telemetry.json
+// idiom. The speedup is bounded by GOMAXPROCS — on a single-CPU host the
+// pool cannot beat the serial executor — so the snapshot records the
+// GOMAXPROCS it was measured under.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	bench := flag.Lookup("test.bench")
+	if code == 0 && bench != nil && bench.Value.String() != "" {
+		if err := writeBenchSnapshot("../../BENCH_engine.json"); err != nil {
+			fmt.Fprintln(os.Stderr, "engine bench snapshot:", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func writeBenchSnapshot(path string) error {
+	measure := func(workers int) float64 {
+		r := testing.Benchmark(func(b *testing.B) { benchCampaign(b, workers) })
+		return float64(r.NsPerOp())
+	}
+	serial := measure(1)
+	sharded := measure(4)
+	snap := struct {
+		Benchmark       string  `json:"benchmark"`
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		SerialNsPerOp   float64 `json:"serial_ns_per_op"`
+		Shards4NsPerOp  float64 `json:"shards4_ns_per_op"`
+		SpeedupAt4      float64 `json:"speedup_at_4_shards"`
+		ConformanceNote string  `json:"note"`
+	}{
+		Benchmark:      "beam campaign, 2000 runs, grain 64 (~32 shards)",
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		SerialNsPerOp:  serial,
+		Shards4NsPerOp: sharded,
+		SpeedupAt4:     serial / sharded,
+		ConformanceNote: "results are bit-identical for any worker count (see conformance_test.go); " +
+			"speedup is bounded by GOMAXPROCS at measurement time",
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

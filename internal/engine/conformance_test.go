@@ -1,0 +1,163 @@
+// Conformance suite for the sharded execution engine: every simulator that
+// runs on engine.Map must produce bit-identical results for any worker
+// count, including 1. The suite sweeps worker counts {1, 2, 7, GOMAXPROCS}
+// over every catalog device model and both beam spectra (ChipIR fast,
+// ROTAX thermal) and compares full result structs with reflect.DeepEqual.
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"neutronsim/internal/beam"
+	"neutronsim/internal/device"
+	"neutronsim/internal/materials"
+	"neutronsim/internal/memsim"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+	"neutronsim/internal/transport"
+	"neutronsim/internal/units"
+	"neutronsim/internal/workload"
+)
+
+// workerCounts is the deduplicated conformance sweep {1, 2, 7, GOMAXPROCS}.
+func workerCounts() []int {
+	counts := []int{1, 2, 7}
+	maxprocs := runtime.GOMAXPROCS(0)
+	for _, c := range counts {
+		if c == maxprocs {
+			return counts
+		}
+	}
+	return append(counts, maxprocs)
+}
+
+func TestBeamCampaignShardCountInvariance(t *testing.T) {
+	devices := device.All()
+	if testing.Short() {
+		devices = devices[:2]
+	}
+	for _, d := range devices {
+		for _, spec := range []spectrum.Spectrum{spectrum.ChipIR(), spectrum.ROTAX()} {
+			d, spec := d, spec
+			t.Run(fmt.Sprintf("%s/%s", d.Name, spec.Name()), func(t *testing.T) {
+				t.Parallel()
+				run := func(workers int) *beam.Result {
+					dut := *d
+					// Boost sensitivity so the small run budget still
+					// produces events in every tally bucket.
+					dut.SensitiveFraction = 0.2
+					res, err := beam.RunContext(context.Background(), beam.Config{
+						Device:          &dut,
+						WorkloadName:    workload.ForDeviceKind(d.Kind.String())[0],
+						Beam:            spec,
+						DurationSeconds: 600,
+						RunSeconds:      1, // 600 runs, grain 64 → 10 shards
+						Seed:            99,
+						CalSamples:      2000,
+						Shards:          workers,
+						ShardGrain:      64,
+					})
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					return res
+				}
+				ref := run(1)
+				if ref.SDC+ref.DUE+ref.Masked == 0 {
+					t.Fatal("conformance campaign produced no events; comparison is vacuous")
+				}
+				for _, workers := range workerCounts()[1:] {
+					if got := run(workers); !reflect.DeepEqual(got, ref) {
+						t.Errorf("workers=%d diverged from serial:\n got %+v\nwant %+v", workers, got, ref)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestTransportShardCountInvariance(t *testing.T) {
+	slabs := []transport.Slab{
+		{Material: materials.Air(), Thickness: 30},
+		{Material: materials.Water(), Thickness: 5.08},
+		{Material: materials.Air(), Thickness: 30},
+	}
+	fastSource := func(s *rng.Stream) units.Energy {
+		return units.Energy(s.WattEnergy(0.988, 2.249) * 1e6)
+	}
+	const n = 20000
+	run := func(workers int) *transport.Tally {
+		// Streams are consumed by the walk, so every invocation needs a
+		// fresh root stream for the comparison to be meaningful.
+		tally, err := transport.SimulateWithOptions(slabs, n, fastSource, rng.New(17),
+			transport.Options{Shards: workers, ShardGrain: 2048})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tally
+	}
+	ref := run(1)
+	if ref.Absorbed == 0 || ref.TransmittedTotal() == 0 {
+		t.Fatal("transport conformance tally is degenerate")
+	}
+	for _, workers := range workerCounts()[1:] {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d diverged from serial:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+}
+
+func TestMemsimShardCountInvariance(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  memsim.Config
+	}{
+		{"ddr3-thermal", memsim.Config{
+			Spec: memsim.DDR3Module(), Band: memsim.ThermalBeam,
+			Flux: spectrum.ROTAXTotalFlux,
+		}},
+		{"ddr4-thermal", memsim.Config{
+			Spec: memsim.DDR4Module(), Band: memsim.ThermalBeam,
+			Flux: spectrum.ROTAXTotalFlux,
+		}},
+		{"ddr3-fast-abort", memsim.Config{
+			Spec: memsim.DDR3Module(), Band: memsim.FastBeam,
+			Flux: spectrum.ChipIR().TotalFlux(), PermanentAbortLimit: 5,
+		}},
+		{"ddr4-fast-ecc", memsim.Config{
+			Spec: memsim.DDR4Module(), Band: memsim.FastBeam,
+			Flux: spectrum.ChipIR().TotalFlux(), ECC: true,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) *memsim.Result {
+				cfg := tc.cfg
+				cfg.DurationSeconds = 600 // 600 passes, grain 64 → 10 shards
+				cfg.Seed = 5
+				cfg.Shards = workers
+				cfg.ShardGrain = 64
+				res, err := memsim.Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			ref := run(1)
+			if ref.Events == 0 {
+				t.Fatal("memsim conformance campaign produced no events")
+			}
+			for _, workers := range workerCounts()[1:] {
+				if got := run(workers); !reflect.DeepEqual(got, ref) {
+					t.Errorf("workers=%d diverged from serial:\n got %+v\nwant %+v", workers, got, ref)
+				}
+			}
+		})
+	}
+}

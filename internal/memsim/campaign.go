@@ -1,10 +1,12 @@
 package memsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"neutronsim/internal/engine"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/stats"
 	"neutronsim/internal/units"
@@ -45,12 +47,27 @@ type Config struct {
 	PassSeconds float64
 	// ECC enables SECDED accounting.
 	ECC bool
-	// PermanentAbortLimit stops the campaign once this many permanent
-	// faults are live — what happened to both modules "after few minutes
-	// of irradiation at ChipIR" (§IV). Zero disables.
+	// PermanentAbortLimit stops a campaign shard once this many permanent
+	// faults are live in it — what happened to both modules "after few
+	// minutes of irradiation at ChipIR" (§IV). Zero disables. Under
+	// sharded execution the limit applies per shard (each shard is an
+	// independent beam session; see DESIGN.md §9), and the merged result
+	// reports Aborted when any session aborted.
 	PermanentAbortLimit int
 	Seed                uint64
+	// Shards caps how many campaign shards execute concurrently (default
+	// GOMAXPROCS). It never affects results; see internal/engine.
+	Shards int
+	// ShardGrain is the number of correct-loop passes per shard (default
+	// 8192). Each shard models an independent beam session on a freshly
+	// rewritten module: live faults do not carry across shard boundaries.
+	// The grain is part of the deterministic seed schedule.
+	ShardGrain int
 }
+
+// defaultShardGrain is the number of correct-loop passes per engine shard.
+// An hour-long session stays a single shard; multi-hour campaigns split.
+const defaultShardGrain = 8192
 
 func (c Config) validate() error {
 	if err := c.Spec.Validate(); err != nil {
@@ -157,6 +174,14 @@ func (r *recorder) observe(pass int, addr uint64, dir Direction, bits int) {
 }
 
 // Run executes the correct-loop campaign.
+//
+// The pass loop executes on the sharded engine: the campaign's passes are
+// split into contiguous shards, each drawing from its own deterministic
+// stream (engine.StreamForShard(Seed, shard)) and behaving like an
+// independent beam session on a freshly rewritten module — live faults,
+// the abort limit, and the taxonomy classifier are all per shard, and the
+// merged result sums the per-session counts. The result is identical for
+// any Shards worker count, including 1.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -164,7 +189,6 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.PassSeconds <= 0 {
 		cfg.PassSeconds = 1
 	}
-	s := rng.New(cfg.Seed)
 	sigma := cfg.Spec.ThermalSigmaPerGbit
 	if cfg.Band == FastBeam {
 		sigma = cfg.Spec.FastSigmaPerGbit
@@ -175,6 +199,59 @@ func Run(cfg Config) (*Result, error) {
 		passes = 1
 	}
 
+	shardResults, err := engine.Map(context.Background(), engine.Config{
+		Workers: cfg.Shards,
+		Grain:   cfg.ShardGrain,
+		Seed:    cfg.Seed,
+		Name:    "memsim",
+	}, passes, defaultShardGrain, func(_ context.Context, sh engine.Shard) (*Result, error) {
+		return runShard(cfg, sh, rate), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Spec:            cfg.Spec,
+		Band:            cfg.Band,
+		ByCategory:      map[Category]int64{},
+		ByDirection:     map[Direction]int64{},
+		TruthByCategory: map[Category]int64{},
+	}
+	elapsed := 0.0
+	for _, sr := range shardResults {
+		res.Passes += sr.Passes
+		res.Aborted = res.Aborted || sr.Aborted
+		res.Events += sr.Events
+		res.SingleBitEvents += sr.SingleBitEvents
+		res.MultiBitEvents += sr.MultiBitEvents
+		res.ECCCorrected += sr.ECCCorrected
+		res.ECCUncorrectable += sr.ECCUncorrectable
+		for c, n := range sr.ByCategory {
+			res.ByCategory[c] += n
+		}
+		for d, n := range sr.ByDirection {
+			res.ByDirection[d] += n
+		}
+		for c, n := range sr.TruthByCategory {
+			res.TruthByCategory[c] += n
+		}
+		elapsed += float64(sr.Passes) * cfg.PassSeconds
+	}
+	res.Fluence = units.Fluence(float64(cfg.Flux) * elapsed)
+	res.SigmaPerGbit, err = stats.EstimateRate(res.Events, float64(res.Fluence)*cfg.Spec.Gbits())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runShard executes the shard's pass window [sh.Start, sh.Start+sh.Count)
+// as one independent beam session: the module starts freshly written, the
+// fault generator and the observer-side classifier both run shard-locally,
+// and global pass indices keep the 0xFF/0x00 pattern phase aligned with
+// the serial schedule.
+func runShard(cfg Config, sh engine.Shard, rate float64) *Result {
+	s := sh.Stream
 	res := &Result{
 		Spec:            cfg.Spec,
 		Band:            cfg.Band,
@@ -185,10 +262,10 @@ func Run(cfg Config) (*Result, error) {
 	rec := newRecorder(res, cfg.ECC)
 	var live []liveFault
 	permanents := 0
-	elapsed := 0.0
 
 	catSampler := newCategorySampler(cfg.Spec.CategoryWeights)
-	for p := 0; p < passes; p++ {
+	end := sh.Start + sh.Count
+	for p := sh.Start; p < end; p++ {
 		pattern := patternForPass(p) // true ⇒ cells hold 1 (0xFF)
 		// New faults materialize during this pass.
 		n := s.Poisson(rate * cfg.PassSeconds)
@@ -256,21 +333,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		live = keep
-		elapsed += cfg.PassSeconds
-		res.Passes = p + 1
+		res.Passes++
 		if cfg.PermanentAbortLimit > 0 && permanents >= cfg.PermanentAbortLimit {
 			res.Aborted = true
 			break
 		}
 	}
-	res.Fluence = units.Fluence(float64(cfg.Flux) * elapsed)
-	classify(res, rec)
-	var err error
-	res.SigmaPerGbit, err = stats.EstimateRate(res.Events, float64(res.Fluence)*cfg.Spec.Gbits())
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	classify(res, rec, sh.Start+res.Passes)
+	return res
 }
 
 func patternForPass(p int) bool { return p%2 == 0 }
@@ -325,7 +395,11 @@ func otherDirection(d Direction) Direction {
 //     direction readable, from first sighting to the end, is a stuck-at
 //     (permanent) cell.
 //   - Anything recurring with gaps is intermittent.
-func classify(res *Result, rec *recorder) {
+//
+// endPass is the global index one past the last executed pass of the
+// classified window; stuck-at detection needs it to count how many passes
+// an address could have been observed on.
+func classify(res *Result, rec *recorder, endPass int) {
 	sefiPasses := map[int]bool{}
 	for p, n := range rec.perPassNew {
 		if n >= sefiThreshold {
@@ -357,7 +431,7 @@ func classify(res *Result, rec *recorder) {
 		switch {
 		case h.count == 1:
 			res.ByCategory[Transient]++
-		case h.count >= readablePasses(h.first, res.Passes, h.dir):
+		case h.count >= readablePasses(h.first, endPass, h.dir):
 			// Stuck-at cells error on every readable pass (including
 			// SEFI-burst passes, where their observations still landed).
 			res.ByCategory[Permanent]++

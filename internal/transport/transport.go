@@ -15,6 +15,7 @@ import (
 	"errors"
 	"math"
 
+	"neutronsim/internal/engine"
 	"neutronsim/internal/materials"
 	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
@@ -122,7 +123,17 @@ type Options struct {
 	// scattering is forward-peaked in the lab frame (mean cosine 2/3A);
 	// the default isotropic model is the textbook approximation.
 	ForwardBias float64
+	// Shards caps how many transport shards execute concurrently (default
+	// GOMAXPROCS). It never affects the tally; see internal/engine.
+	Shards int
+	// ShardGrain is the number of source neutrons per shard (default
+	// 16384). Like the caller's stream, it is part of the deterministic
+	// schedule: changing it re-partitions the campaign.
+	ShardGrain int
 }
+
+// defaultShardGrain is the number of source neutrons per engine shard.
+const defaultShardGrain = 16384
 
 // Simulate fires n source neutrons at normal incidence into the slab stack
 // and returns the tally. source supplies the incident energy distribution.
@@ -154,13 +165,41 @@ func SimulateWithOptions(slabs []Slab, n int, source func(*rng.Stream) units.Ene
 	for i, sl := range slabs {
 		bounds[i+1] = bounds[i] + sl.Thickness
 	}
-	_, span := telemetry.StartSpan(context.Background(), "transport.simulate")
+	ctx, span := telemetry.StartSpan(context.Background(), "transport.simulate")
 	defer span.End()
-	tally := newTally()
-	tally.Incident = n
 	kT := float64(units.RoomTemperature.KT())
-	for i := 0; i < n; i++ {
-		trackOne(slabs, bounds, source(s), s, kT, tally, opts)
+	// Pre-split one stream per shard off the caller's stream, in shard
+	// order, so the tally depends only on the stream's state at the call —
+	// never on worker scheduling. source is called with the shard's
+	// stream and must be safe for concurrent use (the built-in spectra and
+	// monoenergetic closures are pure).
+	grain := opts.ShardGrain
+	if grain <= 0 {
+		grain = defaultShardGrain
+	}
+	streams := make([]*rng.Stream, len(engine.Plan(n, grain)))
+	for i := range streams {
+		streams[i] = s.Split()
+	}
+	tallies, err := engine.Map(ctx, engine.Config{
+		Workers:   opts.Shards,
+		Grain:     grain,
+		Name:      "transport",
+		StreamFor: func(i int) *rng.Stream { return streams[i] },
+	}, n, defaultShardGrain, func(_ context.Context, sh engine.Shard) (*Tally, error) {
+		t := newTally()
+		t.Incident = sh.Count
+		for i := 0; i < sh.Count; i++ {
+			trackOne(slabs, bounds, source(sh.Stream), sh.Stream, kT, t, opts)
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tally := newTally()
+	for _, t := range tallies {
+		tally.merge(t)
 	}
 	reg := telemetry.Default
 	reg.Counter("transport.neutrons").Add(int64(n))
@@ -169,6 +208,24 @@ func SimulateWithOptions(slabs []Slab, n int, source func(*rng.Stream) units.Ene
 	reg.Counter("transport.transmitted").Add(int64(tally.TransmittedTotal()))
 	reg.Counter("transport.reflected").Add(int64(tally.ReflectedTotal()))
 	return tally, nil
+}
+
+// merge folds another shard's tally into t. All fields are counts, so the
+// merge is order-independent.
+func (t *Tally) merge(o *Tally) {
+	t.Incident += o.Incident
+	t.Absorbed += o.Absorbed
+	t.Collisions += o.Collisions
+	t.Lost += o.Lost
+	for b, n := range o.Transmitted {
+		t.Transmitted[b] += n
+	}
+	for b, n := range o.Reflected {
+		t.Reflected[b] += n
+	}
+	for e, n := range o.AbsorbedByElement {
+		t.AbsorbedByElement[e] += n
+	}
 }
 
 func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT float64, tally *Tally, opts Options) {
