@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race bench neutrond clean
 
 check: vet build race
 
@@ -25,5 +25,8 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
+neutrond:
+	$(GO) build -o neutrond ./cmd/neutrond
+
 clean:
-	rm -f BENCH_telemetry.json
+	rm -f BENCH_telemetry.json neutrond

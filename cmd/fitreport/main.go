@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"neutronsim"
 	"neutronsim/internal/report"
@@ -20,13 +23,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fitreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fitreport", flag.ContinueOnError)
 	deviceName := fs.String("device", "K20", "device name")
 	workloads := fs.String("workloads", "", "comma-separated benchmark list (default: paper assignment)")
@@ -77,7 +82,7 @@ func run(args []string) error {
 	fmt.Printf("assessing %s (%s, %s) ...\n", d.Name, d.Vendor, d.Process)
 	budget := neutronsim.QuickBudget()
 	budget.Boost = *boost
-	a, err := neutronsim.Assess(d, wls, budget, *seed)
+	a, err := neutronsim.AssessContext(ctx, d, wls, budget, *seed)
 	if err != nil {
 		return err
 	}

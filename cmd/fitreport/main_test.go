@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -27,20 +28,20 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestUnknownDevice(t *testing.T) {
-	if err := run([]string{"-device", "ENIAC"}); err == nil {
+	if err := run(context.Background(), []string{"-device", "ENIAC"}); err == nil {
 		t.Error("unknown device accepted")
 	}
 }
 
 func TestUnknownLocation(t *testing.T) {
-	if err := run([]string{"-location", "atlantis"}); err == nil {
+	if err := run(context.Background(), []string{"-location", "atlantis"}); err == nil {
 		t.Error("unknown location accepted")
 	}
 }
 
 func TestReport(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-device", "K20", "-workloads", "MxM", "-location", "nyc", "-boost", "100", "-seed", "2"})
+		return run(context.Background(), []string{"-device", "K20", "-workloads", "MxM", "-location", "nyc", "-boost", "100", "-seed", "2"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +55,7 @@ func TestReport(t *testing.T) {
 
 func TestCustomAltitude(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-device", "TitanX", "-workloads", "HotSpot", "-altitude", "1500", "-boost", "100", "-seed", "3"})
+		return run(context.Background(), []string{"-device", "TitanX", "-workloads", "HotSpot", "-altitude", "1500", "-boost", "100", "-seed", "3"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +67,7 @@ func TestCustomAltitude(t *testing.T) {
 
 func TestMarkdownDossier(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-device", "K20", "-workloads", "MxM",
+		return run(context.Background(), []string{"-device", "K20", "-workloads", "MxM",
 			"-markdown", "-nodes", "1000", "-boost", "100", "-seed", "4"})
 	})
 	if err != nil {

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"neutronsim/internal/fit"
 	"neutronsim/internal/fleet"
@@ -19,13 +22,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
 	nodes := fs.Int("nodes", 2000, "nodes per class")
 	days := fs.Int("days", 365, "observation days")
@@ -56,7 +61,7 @@ func run(args []string) error {
 		RainProbability: *rain,
 		Seed:            *seed,
 	}
-	log, err := fleet.Simulate(cfg)
+	log, err := fleet.SimulateContext(ctx, cfg)
 	if err != nil {
 		return err
 	}

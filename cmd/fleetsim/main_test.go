@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -28,7 +29,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestFleetReport(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-nodes", "500", "-days", "60", "-rain", "0.3", "-seed", "2"})
+		return run(context.Background(), []string{"-nodes", "500", "-days", "60", "-rain", "0.3", "-seed", "2"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,10 +42,10 @@ func TestFleetReport(t *testing.T) {
 }
 
 func TestInvalidConfigRejected(t *testing.T) {
-	if err := run([]string{"-nodes", "0"}); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "0"}); err == nil {
 		t.Error("zero nodes accepted")
 	}
-	if err := run([]string{"-rain", "2"}); err == nil {
+	if err := run(context.Background(), []string{"-rain", "2"}); err == nil {
 		t.Error("rain probability 2 accepted")
 	}
 }

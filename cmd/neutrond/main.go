@@ -1,0 +1,80 @@
+// Command neutrond serves the simulators over HTTP: POST a campaign, poll
+// or stream its progress, and let the deterministic result cache answer
+// repeated requests instantly (identical normalized requests are the same
+// campaign; see DESIGN.md §10).
+//
+// Usage:
+//
+//	neutrond [-addr 127.0.0.1:8791] [-queue 64] [-job-workers 2]
+//	         [-job-shards N] [-cache-entries 256] [-cache-mb 64]
+//	         [-job-timeout 10m] [-drain-timeout 30s]
+//
+// On SIGINT/SIGTERM the server drains: intake answers 503, in-flight jobs
+// get -drain-timeout to finish before being canceled, and the final
+// telemetry snapshot (-metrics-out) is written on exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neutronsim/internal/server"
+	"neutronsim/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "neutrond:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("neutrond", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8791", "listen address (port 0 picks a free port)")
+	queue := fs.Int("queue", 64, "queued-job bound; a full queue answers 429")
+	jobWorkers := fs.Int("job-workers", 2, "concurrent jobs")
+	jobShards := fs.Int("job-shards", 0, "per-job engine shard workers (0 = GOMAXPROCS; never affects results)")
+	cacheEntries := fs.Int("cache-entries", 256, "result cache entry bound")
+	cacheMB := fs.Int("cache-mb", 64, "result cache size bound in MiB")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job deadline (negative disables)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs may finish after SIGTERM")
+	obs := telemetry.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obs.Start("neutrond"); err != nil {
+		return err
+	}
+	defer obs.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Addr:         *addr,
+		QueueDepth:   *queue,
+		Workers:      *jobWorkers,
+		JobShards:    *jobShards,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   int64(*cacheMB) << 20,
+		JobTimeout:   *jobTimeout,
+		DrainTimeout: *drainTimeout,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "neutrond: listening on http://%s\n", srv.Addr())
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "neutrond: draining")
+	if err := srv.Drain(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "neutrond: drained cleanly")
+	return obs.Close()
+}

@@ -70,15 +70,26 @@ func run(args []string) error {
 	if *samples <= 0 {
 		return fmt.Errorf("samples must be positive")
 	}
-	shardsSet := false
+	shardsSet, workersSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "shards" {
+		switch f.Name {
+		case "shards":
 			shardsSet = true
+		case "workers":
+			workersSet = true
 		}
 	})
 	pool := *shards
-	if !shardsSet && *workers > 0 {
-		pool = *workers // honor the deprecated spelling when -shards is absent
+	if workersSet {
+		// Exactly one warning, on stderr, so scripted pipelines reading
+		// stdout stay clean.
+		fmt.Fprintln(os.Stderr, "sweep: warning: -workers is deprecated, use -shards")
+		if shardsSet && *workers != *shards {
+			return fmt.Errorf("conflicting -workers %d and -shards %d; drop the deprecated -workers", *workers, *shards)
+		}
+		if !shardsSet {
+			pool = *workers // honor the deprecated spelling when -shards is absent
+		}
 	}
 	if pool < 1 {
 		pool = 1

@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"neutronsim/internal/detector"
 	"neutronsim/internal/rng"
@@ -20,13 +23,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tin2:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tin2", flag.ContinueOnError)
 	daysBefore := fs.Int("days-before", 9, "background days before water placement")
 	daysAfter := fs.Int("days-after", 5, "days after water placement")
@@ -48,7 +53,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("Tin-II: efficiency %.2f, Cd shield leak %.2g, face %v cm²\n",
 		det.Efficiency, det.ShieldLeak, det.Config().FaceAreaCm2())
-	res, err := detector.RunWaterExperiment(detector.WaterExperimentConfig{
+	res, err := detector.RunWaterExperimentContext(ctx, detector.WaterExperimentConfig{
 		Detector:               det,
 		BaseThermalFluxPerHour: *flux,
 		DaysBefore:             *daysBefore,

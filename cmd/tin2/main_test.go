@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -28,7 +29,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 
 func TestWaterExperimentOutput(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-days-before", "4", "-days-after", "3", "-plot", "-seed", "1"})
+		return run(context.Background(), []string{"-days-before", "4", "-days-after", "3", "-plot", "-seed", "1"})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +53,7 @@ func TestWaterExperimentOutput(t *testing.T) {
 }
 
 func TestFlagParsing(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

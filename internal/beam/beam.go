@@ -239,7 +239,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Seed:    cfg.Seed,
 		Name:    "beam",
 		OnShardDone: func(_ engine.Shard, doneItems, totalItems int) {
-			telemetry.ReportProgress(telemetry.ProgressUpdate{
+			telemetry.ReportProgressContext(ctx, telemetry.ProgressUpdate{
 				Component: "beam",
 				Device:    res.Device,
 				Beam:      res.Beam,

@@ -85,6 +85,14 @@ func Assess(d *device.Device, workloads []string, b Budget, seed uint64) (*Asses
 	return assess(context.Background(), d, workloads, b, seed)
 }
 
+// AssessContext is Assess with a caller context: the assessment's telemetry
+// spans nest under the caller's, per-campaign progress posts reach any
+// observer attached with telemetry.ContextWithProgress, and cancellation
+// aborts the protocol at the next shard boundary.
+func AssessContext(ctx context.Context, d *device.Device, workloads []string, b Budget, seed uint64) (*Assessment, error) {
+	return assess(ctx, d, workloads, b, seed)
+}
+
 func assess(ctx context.Context, d *device.Device, workloads []string, b Budget, seed uint64) (*Assessment, error) {
 	if d == nil {
 		return nil, errors.New("core: nil device")

@@ -9,6 +9,7 @@
 package detector
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -310,6 +311,13 @@ func (c WaterExperimentConfig) withDefaults() WaterExperimentConfig {
 // RunWaterExperiment executes the full pipeline: transport → schedule →
 // counting → change detection.
 func RunWaterExperiment(cfg WaterExperimentConfig, s *rng.Stream) (*WaterExperimentResult, error) {
+	return RunWaterExperimentContext(context.Background(), cfg, s)
+}
+
+// RunWaterExperimentContext is RunWaterExperiment with a caller context;
+// cancellation aborts the transport stage at the next shard boundary and
+// skips the pipeline stages that have not started yet.
+func RunWaterExperimentContext(ctx context.Context, cfg WaterExperimentConfig, s *rng.Stream) (*WaterExperimentResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Detector == nil {
 		return nil, errors.New("detector: nil detector")
@@ -320,7 +328,7 @@ func RunWaterExperiment(cfg WaterExperimentConfig, s *rng.Stream) (*WaterExperim
 	fastSource := func(st *rng.Stream) units.Energy {
 		return units.Energy(st.WattEnergy(0.988, 2.249) * 1e6)
 	}
-	enh, err := transport.ThermalEnhancement(transport.EnhancementConfig{
+	enh, err := transport.ThermalEnhancementContext(ctx, transport.EnhancementConfig{
 		Moderator:              materials.Water(),
 		Thickness:              cfg.WaterThicknessCm,
 		FastToThermalFluxRatio: cfg.FastToThermalRatio,
@@ -329,6 +337,9 @@ func RunWaterExperiment(cfg WaterExperimentConfig, s *rng.Stream) (*WaterExperim
 	}, fastSource, s)
 	if err != nil {
 		return nil, fmt.Errorf("detector: enhancement: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	waterHour := cfg.DaysBefore * 24
 	hours := (cfg.DaysBefore + cfg.DaysAfter) * 24

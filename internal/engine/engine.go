@@ -118,6 +118,11 @@ func StreamForShard(seed uint64, shard int) *rng.Stream {
 // On failure the returned error joins every shard error (in shard order)
 // and the result slice still carries the successful shards' values, with
 // zero values at the failed indices.
+//
+// Map honors ctx cancellation at shard granularity: shards that have not
+// started when ctx is canceled (or its deadline expires) are skipped, and
+// the call returns ctx's error. Cancellation never changes the values of
+// the shards that did complete — it only truncates the campaign.
 func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn func(ctx context.Context, sh Shard) (T, error)) ([]T, error) {
 	grain := cfg.Grain
 	if grain <= 0 {
@@ -146,6 +151,10 @@ func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn fun
 	errs := make([]error, len(shards))
 	var done atomic.Int64
 	exec := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		sh := shards[i]
 		sh.Stream = streamFor(sh.Index)
 		busy.Add(1)
@@ -186,6 +195,11 @@ func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn fun
 		}
 		close(indices)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		// A canceled campaign reports the cancellation itself rather than
+		// one wrapped error per unstarted shard.
+		return results, err
 	}
 	return results, errors.Join(errs...)
 }

@@ -59,6 +59,102 @@ func TestPlanEdgeCases(t *testing.T) {
 	}
 }
 
+// TestPlanPartitionInvariants spells the schedule contract out for the
+// awkward grids: whatever the (total, grain) combination, the shards must
+// be contiguous, non-overlapping, and cover [0, total) exactly.
+func TestPlanPartitionInvariants(t *testing.T) {
+	cases := []struct {
+		name         string
+		total, grain int
+		wantShards   int
+	}{
+		{"zero total", 0, 8, 0},
+		{"negative total", -1, 8, 0},
+		{"zero grain collapses to one shard", 9, 0, 1},
+		{"negative grain collapses to one shard", 9, -5, 1},
+		{"grain exceeds total", 5, 100, 1},
+		{"grain equals total", 12, 12, 1},
+		{"total not divisible by grain", 10, 4, 3},
+		{"remainder of one", 9, 4, 3},
+		{"unit grain", 5, 1, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			shards := Plan(c.total, c.grain)
+			if len(shards) != c.wantShards {
+				t.Fatalf("Plan(%d,%d) = %d shards, want %d", c.total, c.grain, len(shards), c.wantShards)
+			}
+			if c.wantShards == 0 {
+				if shards != nil {
+					t.Fatalf("Plan(%d,%d) = %v, want nil", c.total, c.grain, shards)
+				}
+				return
+			}
+			next := 0 // contiguity cursor: each shard must start where the last ended
+			for i, sh := range shards {
+				if sh.Index != i {
+					t.Errorf("shard %d carries Index %d", i, sh.Index)
+				}
+				if sh.Start != next {
+					t.Errorf("shard %d starts at %d, want %d (gap or overlap)", i, sh.Start, next)
+				}
+				if sh.Count <= 0 {
+					t.Errorf("shard %d has non-positive count %d", i, sh.Count)
+				}
+				next = sh.Start + sh.Count
+			}
+			if next != c.total {
+				t.Errorf("shards cover [0,%d), want [0,%d)", next, c.total)
+			}
+		})
+	}
+}
+
+// TestMapCancellation checks the shard-granularity cancellation contract:
+// a canceled context surfaces as ctx.Err() itself (not one wrapped error
+// per unstarted shard), and shards that completed before the cancellation
+// keep their results.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	out, err := Map(ctx, Config{Workers: 1, Grain: 10, Seed: 3}, 100, 10,
+		func(_ context.Context, sh Shard) (int, error) {
+			ran++
+			if sh.Index == 1 {
+				cancel() // shards after this one must be skipped
+			}
+			return sh.Start, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err != context.Canceled {
+		t.Errorf("err should be ctx.Err() itself, not a join: %v", err)
+	}
+	if ran >= 10 {
+		t.Errorf("all %d shards ran despite cancellation", ran)
+	}
+	// Results from shards that completed before the cancel are retained.
+	if len(out) != 10 {
+		t.Fatalf("result slice has %d slots, want 10", len(out))
+	}
+	if out[0] != 0 || out[1] != 10 {
+		t.Errorf("completed shard results lost: %v", out[:2])
+	}
+	// A context canceled before the call starts no work at all.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	ran = 0
+	_, err = Map(pre, Config{Workers: 4, Grain: 10}, 100, 10,
+		func(_ context.Context, _ Shard) (int, error) { ran++; return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Map: err = %v", err)
+	}
+	if ran != 0 {
+		t.Errorf("pre-canceled Map ran %d shards, want 0", ran)
+	}
+}
+
 func TestStreamForShardDeterministicAndDistinct(t *testing.T) {
 	draw := func(s *rng.Stream) [4]uint64 {
 		var out [4]uint64

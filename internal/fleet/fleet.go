@@ -110,10 +110,16 @@ type Log struct {
 
 // Simulate runs the fleet for the configured number of days.
 func Simulate(cfg Config) (*Log, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext is Simulate with a caller context; cancellation stops the
+// simulation at the next day boundary and returns the context's error.
+func SimulateContext(ctx context.Context, cfg Config) (*Log, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	_, span := telemetry.StartSpan(context.Background(), "fleet.simulate")
+	ctx, span := telemetry.StartSpan(ctx, "fleet.simulate")
 	defer span.End()
 	simStart := time.Now()
 	s := rng.New(cfg.Seed)
@@ -144,11 +150,14 @@ func Simulate(cfg Config) (*Log, error) {
 		}
 	}
 	for day := 0; day < cfg.Days; day++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rainy := s.Bernoulli(cfg.RainProbability)
 		if rainy {
 			log.RainyDays++
 		}
-		telemetry.ReportProgress(telemetry.ProgressUpdate{
+		telemetry.ReportProgressContext(ctx, telemetry.ProgressUpdate{
 			Component: "fleet",
 			Done:      float64(day + 1),
 			Total:     float64(cfg.Days),

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"neutronsim/internal/engine"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/stats"
+	"neutronsim/internal/telemetry"
 	"neutronsim/internal/units"
 )
 
@@ -183,6 +185,14 @@ func (r *recorder) observe(pass int, addr uint64, dir Direction, bits int) {
 // merged result sums the per-session counts. The result is identical for
 // any Shards worker count, including 1.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with a caller context: campaign spans nest under the
+// caller's, progress posts reach any observer attached with
+// telemetry.ContextWithProgress, and cancellation stops the campaign at the
+// next shard boundary.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -199,11 +209,23 @@ func Run(cfg Config) (*Result, error) {
 		passes = 1
 	}
 
-	shardResults, err := engine.Map(context.Background(), engine.Config{
+	start := time.Now()
+	shardResults, err := engine.Map(ctx, engine.Config{
 		Workers: cfg.Shards,
 		Grain:   cfg.ShardGrain,
 		Seed:    cfg.Seed,
 		Name:    "memsim",
+		OnShardDone: func(_ engine.Shard, doneItems, totalItems int) {
+			telemetry.ReportProgressContext(ctx, telemetry.ProgressUpdate{
+				Component: "memsim",
+				Device:    cfg.Spec.Generation.String(),
+				Beam:      cfg.Band.String(),
+				Done:      float64(doneItems),
+				Total:     float64(totalItems),
+				Fluence:   float64(cfg.Flux) * cfg.PassSeconds * float64(doneItems),
+				Elapsed:   time.Since(start),
+			})
+		},
 	}, passes, defaultShardGrain, func(_ context.Context, sh engine.Shard) (*Result, error) {
 		return runShard(cfg, sh, rate), nil
 	})

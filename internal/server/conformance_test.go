@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"neutronsim/internal/beam"
+	"neutronsim/internal/memsim"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/spectrum"
+	"neutronsim/internal/telemetry"
+	"neutronsim/internal/transport"
+	"neutronsim/internal/units"
+)
+
+// postCampaign submits a request and returns the response with its body.
+func postCampaign(t *testing.T, ts *httptest.Server, req *CampaignRequest, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/campaigns", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatalf("POST /v1/campaigns: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, body
+}
+
+// awaitJob polls a job until it reaches a terminal state.
+func awaitJob(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET job %s: %v", id, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read job %s: %v", id, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		var info JobInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatalf("decode job %s: %v", id, err)
+		}
+		switch info.State {
+		case StateDone, StateFailed, StateCanceled:
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, info.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// submitAndAwait runs one campaign to completion through the HTTP API and
+// returns the terminal job info.
+func submitAndAwait(t *testing.T, ts *httptest.Server, req *CampaignRequest) JobInfo {
+	t.Helper()
+	resp, body := postCampaign(t, ts, req, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("decode 202 body: %v", err)
+	}
+	return awaitJob(t, ts, info.ID, 2*time.Minute)
+}
+
+// TestConformanceBeamHTTP is the PR's acceptance gate: for three catalog
+// devices on both spectra, the result served over HTTP must DeepEqual the
+// direct library call, and a second identical POST must be served from the
+// cache with a byte-identical payload.
+func TestConformanceBeamHTTP(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := New(Config{Workers: 2, Registry: reg})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	devices := []string{"K20", "TitanV", "Zynq7000"}
+	spectra := []string{"ChipIR", "ROTAX"}
+	for i, devName := range devices {
+		for k, spName := range spectra {
+			seed := uint64(100 + 10*i + k)
+			req := &CampaignRequest{
+				Kind: KindBeam,
+				Seed: seed,
+				Beam: &BeamParams{
+					Device:          devName,
+					Workload:        "MxM",
+					Spectrum:        spName,
+					DurationSeconds: 2,
+					CalSamples:      2000,
+				},
+			}
+			info := submitAndAwait(t, ts, req)
+			if info.State != StateDone {
+				t.Fatalf("%s/%s: job ended %s: %s", devName, spName, info.State, info.Error)
+			}
+			var env ResultEnvelope
+			if err := json.Unmarshal(info.Result, &env); err != nil {
+				t.Fatalf("%s/%s: decode envelope: %v", devName, spName, err)
+			}
+			if env.Kind != KindBeam || env.Beam == nil {
+				t.Fatalf("%s/%s: envelope missing beam result", devName, spName)
+			}
+
+			// The direct library call the HTTP result must match, with the
+			// same values normalization fills in.
+			d, err := DeviceByName(devName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := SpectrumByName(spName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := beam.RunContext(context.Background(), beam.Config{
+				Device:          d,
+				WorkloadName:    "MxM",
+				Beam:            sp,
+				DurationSeconds: 2,
+				Derating:        1,
+				Seed:            seed,
+				CalSamples:      2000,
+				ShardGrain:      defaultBeamGrain,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: direct run: %v", devName, spName, err)
+			}
+			if !reflect.DeepEqual(env.Beam, direct) {
+				t.Errorf("%s/%s: HTTP result differs from direct library call\nhttp:   %+v\ndirect: %+v",
+					devName, spName, env.Beam, direct)
+			}
+
+			// Second identical POST: cache hit, counter bump, identical bytes.
+			hits := reg.Counter("server.cache_hits").Value()
+			resp2, body2 := postCampaign(t, ts, req, nil)
+			if resp2.StatusCode != http.StatusOK {
+				t.Fatalf("%s/%s: repeat POST: status %d: %s", devName, spName, resp2.StatusCode, body2)
+			}
+			if got := resp2.Header.Get("X-Cache"); got != "hit" {
+				t.Errorf("%s/%s: repeat POST X-Cache = %q, want hit", devName, spName, got)
+			}
+			if got := reg.Counter("server.cache_hits").Value(); got != hits+1 {
+				t.Errorf("%s/%s: cache_hits = %d, want %d", devName, spName, got, hits+1)
+			}
+			if !bytes.Equal(body2, []byte(info.Result)) {
+				t.Errorf("%s/%s: cached payload differs from the job's result bytes", devName, spName)
+			}
+			if etag := resp2.Header.Get("ETag"); etag == "" || etag != ETagFor(body2) {
+				t.Errorf("%s/%s: ETag %q does not match body", devName, spName, resp2.Header.Get("ETag"))
+			}
+		}
+	}
+}
+
+// TestConformanceTransportHTTP checks the transport dispatch path against
+// the library, including the material and spectrum registries.
+func TestConformanceTransportHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1, Registry: telemetry.NewRegistry()})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := &CampaignRequest{
+		Kind: KindTransport,
+		Seed: 17,
+		Transport: &TransportParams{
+			Slabs:    []SlabParam{{Material: "water", ThicknessCm: 5}},
+			Neutrons: 20000,
+			Source:   "ChipIR",
+		},
+	}
+	info := submitAndAwait(t, ts, req)
+	if info.State != StateDone {
+		t.Fatalf("job ended %s: %s", info.State, info.Error)
+	}
+	var env ResultEnvelope
+	if err := json.Unmarshal(info.Result, &env); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MaterialByName("water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := transport.SimulateWithOptions(
+		[]transport.Slab{{Material: m, Thickness: 5}},
+		20000, spectrum.ChipIR().Sample, rng.New(17),
+		transport.Options{ShardGrain: defaultTransportGrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.Transport, direct) {
+		t.Errorf("HTTP tally differs from direct library call\nhttp:   %+v\ndirect: %+v", env.Transport, direct)
+	}
+}
+
+// TestConformanceMemoryHTTP checks the memory dispatch path and the band
+// defaulting (thermal band at ROTAX total flux).
+func TestConformanceMemoryHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1, Registry: telemetry.NewRegistry()})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := &CampaignRequest{
+		Kind: KindMemory,
+		Seed: 5,
+		Memory: &MemoryParams{
+			Generation:      "DDR4",
+			DurationSeconds: 600,
+		},
+	}
+	info := submitAndAwait(t, ts, req)
+	if info.State != StateDone {
+		t.Fatalf("job ended %s: %s", info.State, info.Error)
+	}
+	var env ResultEnvelope
+	if err := json.Unmarshal(info.Result, &env); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := memsim.Run(memsim.Config{
+		Spec:            memsim.DDR4Module(),
+		Band:            memsim.ThermalBeam,
+		Flux:            units.Flux(float64(spectrum.ROTAXTotalFlux)),
+		DurationSeconds: 600,
+		PassSeconds:     1,
+		Seed:            5,
+		ShardGrain:      defaultMemoryGrain,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.Memory, direct) {
+		t.Errorf("HTTP memory result differs from direct library call\nhttp:   %+v\ndirect: %+v", env.Memory, direct)
+	}
+}
+
+// TestSubmitValidation exercises the 400 paths.
+func TestSubmitValidation(t *testing.T) {
+	srv := New(Config{Workers: 1, Registry: telemetry.NewRegistry()})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"kind":"beam","frobnicate":1}`},
+		{"unknown kind", `{"kind":"warp"}`},
+		{"missing section", `{"kind":"beam"}`},
+		{"unknown device", `{"kind":"beam","beam":{"device":"PDP11","workload":"MxM","spectrum":"ChipIR","duration_seconds":1}}`},
+		{"unknown spectrum", `{"kind":"beam","beam":{"device":"K20","workload":"MxM","spectrum":"LANSCE","duration_seconds":1}}`},
+		{"unknown material", `{"kind":"transport","transport":{"slabs":[{"material":"unobtainium","thickness_cm":1}],"neutrons":100}}`},
+		{"two sections", `{"kind":"beam","beam":{"device":"K20","workload":"MxM","spectrum":"ChipIR","duration_seconds":1},"memory":{"generation":"DDR3","duration_seconds":1}}`},
+		{"zero duration", `{"kind":"beam","beam":{"device":"K20","workload":"MxM","spectrum":"ChipIR"}}`},
+	}
+	for _, tc := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestCatalogEndpoints sanity-checks the discovery endpoints.
+func TestCatalogEndpoints(t *testing.T) {
+	srv := New(Config{Workers: 1, Registry: telemetry.NewRegistry()})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path string
+		want string
+	}{
+		{"/v1/devices", "K20"},
+		{"/v1/spectra", "ROTAX"},
+		{"/v1/materials", "borated polyethylene"},
+		{"/healthz", "ok"},
+		{"/readyz", "ready"},
+	} {
+		resp, err := ts.Client().Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", tc.path, resp.StatusCode)
+		}
+		if !bytes.Contains(body, []byte(tc.want)) {
+			t.Errorf("GET %s: body %q missing %q", tc.path, body, tc.want)
+		}
+	}
+}
+
+// TestNormalizeIdempotentAndKeyed checks that normalization is idempotent
+// and that implicit and explicit defaults share one cache key.
+func TestNormalizeIdempotentAndKeyed(t *testing.T) {
+	implicit := &CampaignRequest{Kind: "Beam", Seed: 9, Beam: &BeamParams{
+		Device: "K20", Workload: "MxM", Spectrum: "chipir", DurationSeconds: 3,
+	}}
+	explicit := &CampaignRequest{Kind: KindBeam, Seed: 9, Beam: &BeamParams{
+		Device: "K20", Workload: "MxM", Spectrum: "ChipIR", DurationSeconds: 3,
+		Derating: 1, CalSamples: 20000, ShardGrain: defaultBeamGrain,
+	}}
+	n1, err := implicit.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := explicit.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.CacheKey() != n2.CacheKey() {
+		t.Errorf("implicit and explicit defaults hash differently:\n%+v\n%+v", n1.Beam, n2.Beam)
+	}
+	again, err := n1.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n1, again) {
+		t.Errorf("normalization is not idempotent: %+v vs %+v", n1, again)
+	}
+	seeded := &CampaignRequest{Kind: KindBeam, Seed: 10, Beam: implicit.Beam}
+	n3, err := seeded.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.CacheKey() == n1.CacheKey() {
+		t.Error("seed is not part of the cache key")
+	}
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/physics"
+	"neutronsim/internal/spectrum"
+	"neutronsim/internal/workload"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("GET /v1/spectra", s.handleSpectra)
+	s.mux.HandleFunc("GET /v1/materials", s.handleMaterials)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+}
+
+// writeJSON writes v as a compact JSON response. Compact output keeps an
+// embedded result (json.RawMessage) byte-identical to the cached campaign
+// body, which the cache's strong ETags and the conformance suite rely on.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the service's error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /v1/campaigns: cache-first, then enqueue.
+//
+//	200  cached result (X-Cache: hit), or 304 on a matching If-None-Match
+//	202  job accepted (body JobInfo, Location /v1/jobs/{id})
+//	400  malformed or invalid request
+//	429  queue full (Retry-After set)
+//	503  draining (Retry-After set)
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w)
+		return
+	}
+	var raw CampaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	req, err := raw.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	key := req.CacheKey()
+	if body, etag, ok := s.cache.Get(key); ok {
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Cache", "hit")
+		if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
+	j, coalesced, err := s.submit(req, key)
+	if errors.Is(err, errDraining) {
+		s.unavailable(w)
+		return
+	}
+	if j == nil {
+		s.cfg.Registry.Counter("server.queue_full").Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg))
+		writeError(w, http.StatusTooManyRequests, "queue full (depth %d); retry later", s.cfg.QueueDepth)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	w.Header().Set("X-Cache", "miss")
+	if coalesced {
+		w.Header().Set("X-Coalesced", "true")
+	}
+	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+func (s *Server) unavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg))
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
+func retryAfterSeconds(cfg Config) string {
+	secs := int(cfg.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// handleJob is GET /v1/jobs/{id}. Finished jobs carry the result body and
+// its strong ETag; If-None-Match short-circuits to 304.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if etag := j.ETag(); etag != "" {
+		w.Header().Set("ETag", etag)
+		if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+// handleCancel is DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if j.Cancel() {
+		s.clearInflight(j)
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+// DeviceInfo is one row of GET /v1/devices.
+type DeviceInfo struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Process    string   `json:"process"`
+	DieAreaCm2 float64  `json:"die_area_cm2"`
+	Workloads  []string `json:"workloads"`
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
+	var rows []DeviceInfo
+	for _, d := range device.All() {
+		rows = append(rows, DeviceInfo{
+			Name:       d.Name,
+			Kind:       d.Kind.String(),
+			Process:    d.Process,
+			DieAreaCm2: d.DieAreaCm2,
+			Workloads:  workload.ForDeviceKind(d.Kind.String()),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"devices": rows})
+}
+
+// SpectrumInfo is one row of GET /v1/spectra.
+type SpectrumInfo struct {
+	Name        string  `json:"name"`
+	TotalFlux   float64 `json:"total_flux"`
+	ThermalFlux float64 `json:"thermal_flux"`
+	FastFlux    float64 `json:"fast_flux"`
+}
+
+func (s *Server) handleSpectra(w http.ResponseWriter, _ *http.Request) {
+	var rows []SpectrumInfo
+	for _, sp := range []spectrum.Spectrum{spectrum.ChipIR(), spectrum.ROTAX()} {
+		rows = append(rows, SpectrumInfo{
+			Name:        sp.Name(),
+			TotalFlux:   float64(sp.TotalFlux()),
+			ThermalFlux: float64(sp.FluxInBand(physics.BandThermal)),
+			FastFlux:    float64(sp.FluxInBand(physics.BandFast)),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"spectra": rows})
+}
+
+func (s *Server) handleMaterials(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"materials": MaterialNames()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports 200 while accepting work and 503 once draining, so
+// load balancers stop routing before shutdown completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -61,6 +62,30 @@ func ReportProgress(u ProgressUpdate) {
 		return
 	}
 	p.report(u)
+}
+
+// progressObserverKey carries a per-campaign progress observer in a context.
+type progressObserverKey struct{}
+
+// ContextWithProgress returns a context that routes ReportProgressContext
+// posts to fn in addition to the global reporter. It is how a service can
+// watch one campaign's progress without intercepting every other campaign
+// running in the process: the observer travels with the campaign's context
+// into the engine's completion hooks. fn is invoked from worker goroutines
+// and must be safe for concurrent use.
+func ContextWithProgress(ctx context.Context, fn func(ProgressUpdate)) context.Context {
+	return context.WithValue(ctx, progressObserverKey{}, fn)
+}
+
+// ReportProgressContext posts a status update to the context's observer (if
+// one was attached with ContextWithProgress) and to the global reporter.
+// Instrumented hot loops that have a context should prefer this over
+// ReportProgress so callers can subscribe per campaign.
+func ReportProgressContext(ctx context.Context, u ProgressUpdate) {
+	if fn, ok := ctx.Value(progressObserverKey{}).(func(ProgressUpdate)); ok && fn != nil {
+		fn(u)
+	}
+	ReportProgress(u)
 }
 
 func (p *progressPrinter) report(u ProgressUpdate) {

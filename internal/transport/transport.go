@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"time"
 
 	"neutronsim/internal/engine"
 	"neutronsim/internal/materials"
@@ -143,6 +144,14 @@ func Simulate(slabs []Slab, n int, source func(*rng.Stream) units.Energy, s *rng
 
 // SimulateWithOptions is Simulate with explicit model options.
 func SimulateWithOptions(slabs []Slab, n int, source func(*rng.Stream) units.Energy, s *rng.Stream, opts Options) (*Tally, error) {
+	return SimulateContext(context.Background(), slabs, n, source, s, opts)
+}
+
+// SimulateContext is SimulateWithOptions with a caller context: spans nest
+// under the caller's, progress posts reach any observer attached with
+// telemetry.ContextWithProgress, and cancellation stops the walk at the
+// next shard boundary.
+func SimulateContext(ctx context.Context, slabs []Slab, n int, source func(*rng.Stream) units.Energy, s *rng.Stream, opts Options) (*Tally, error) {
 	if len(slabs) == 0 {
 		return nil, errors.New("transport: empty geometry")
 	}
@@ -165,7 +174,7 @@ func SimulateWithOptions(slabs []Slab, n int, source func(*rng.Stream) units.Ene
 	for i, sl := range slabs {
 		bounds[i+1] = bounds[i] + sl.Thickness
 	}
-	ctx, span := telemetry.StartSpan(context.Background(), "transport.simulate")
+	ctx, span := telemetry.StartSpan(ctx, "transport.simulate")
 	defer span.End()
 	kT := float64(units.RoomTemperature.KT())
 	// Pre-split one stream per shard off the caller's stream, in shard
@@ -181,11 +190,20 @@ func SimulateWithOptions(slabs []Slab, n int, source func(*rng.Stream) units.Ene
 	for i := range streams {
 		streams[i] = s.Split()
 	}
+	start := time.Now()
 	tallies, err := engine.Map(ctx, engine.Config{
 		Workers:   opts.Shards,
 		Grain:     grain,
 		Name:      "transport",
 		StreamFor: func(i int) *rng.Stream { return streams[i] },
+		OnShardDone: func(_ engine.Shard, doneItems, totalItems int) {
+			telemetry.ReportProgressContext(ctx, telemetry.ProgressUpdate{
+				Component: "transport",
+				Done:      float64(doneItems),
+				Total:     float64(totalItems),
+				Elapsed:   time.Since(start),
+			})
+		},
 	}, n, defaultShardGrain, func(_ context.Context, sh engine.Shard) (*Tally, error) {
 		t := newTally()
 		t.Incident = sh.Count
@@ -339,7 +357,12 @@ func ShieldTransmission(m *materials.Material, thicknessCm float64, e units.Ener
 // thermal neutrons. This is the mechanism by which a concrete floor or a
 // water tank raises the thermal flux seen by nearby devices.
 func ThermalAlbedo(m *materials.Material, thicknessCm float64, n int, source func(*rng.Stream) units.Energy, s *rng.Stream) (float64, error) {
-	tally, err := Simulate([]Slab{{Material: m, Thickness: thicknessCm}}, n, source, s)
+	return ThermalAlbedoContext(context.Background(), m, thicknessCm, n, source, s)
+}
+
+// ThermalAlbedoContext is ThermalAlbedo with a caller context.
+func ThermalAlbedoContext(ctx context.Context, m *materials.Material, thicknessCm float64, n int, source func(*rng.Stream) units.Energy, s *rng.Stream) (float64, error) {
+	tally, err := SimulateContext(ctx, []Slab{{Material: m, Thickness: thicknessCm}}, n, source, s, Options{})
 	if err != nil {
 		return 0, err
 	}
@@ -364,6 +387,11 @@ type EnhancementConfig struct {
 // ThermalEnhancement estimates the relative increase of the local thermal
 // flux caused by the moderator: albedo × coupling × (Φfast/Φthermal).
 func ThermalEnhancement(cfg EnhancementConfig, source func(*rng.Stream) units.Energy, s *rng.Stream) (float64, error) {
+	return ThermalEnhancementContext(context.Background(), cfg, source, s)
+}
+
+// ThermalEnhancementContext is ThermalEnhancement with a caller context.
+func ThermalEnhancementContext(ctx context.Context, cfg EnhancementConfig, source func(*rng.Stream) units.Energy, s *rng.Stream) (float64, error) {
 	if cfg.FastToThermalFluxRatio <= 0 {
 		return 0, errors.New("transport: flux ratio must be positive")
 	}
@@ -374,7 +402,7 @@ func ThermalEnhancement(cfg EnhancementConfig, source func(*rng.Stream) units.En
 	if n <= 0 {
 		n = 20000
 	}
-	albedo, err := ThermalAlbedo(cfg.Moderator, cfg.Thickness, n, source, s)
+	albedo, err := ThermalAlbedoContext(ctx, cfg.Moderator, cfg.Thickness, n, source, s)
 	if err != nil {
 		return 0, err
 	}

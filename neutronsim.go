@@ -1,6 +1,7 @@
 package neutronsim
 
 import (
+	"context"
 	"fmt"
 
 	"neutronsim/internal/beam"
@@ -89,6 +90,12 @@ func Workloads() []string { return workload.Names() }
 // assignment and DefaultBudget or QuickBudget for the beam time.
 func Assess(d *Device, workloads []string, b Budget, seed uint64) (*Assessment, error) {
 	return core.Assess(d, workloads, b, seed)
+}
+
+// AssessContext is Assess with a caller context, so long assessments can be
+// canceled (e.g. on SIGINT) and observed per campaign.
+func AssessContext(ctx context.Context, d *Device, workloads []string, b Budget, seed uint64) (*Assessment, error) {
+	return core.AssessContext(ctx, d, workloads, b, seed)
 }
 
 // DefaultBudget gives production-quality campaign statistics.
@@ -184,6 +191,12 @@ type (
 // SimulateFleet runs a fleet error-log simulation (the field-study
 // pipeline of §II).
 func SimulateFleet(cfg FleetConfig) (*FleetLog, error) { return fleet.Simulate(cfg) }
+
+// SimulateFleetContext is SimulateFleet with a caller context; cancellation
+// stops the simulation at the next day boundary.
+func SimulateFleetContext(ctx context.Context, cfg FleetConfig) (*FleetLog, error) {
+	return fleet.SimulateContext(ctx, cfg)
+}
 
 // AnalyzeFleet recovers per-class FIT rates from an error log and tests
 // placement and weather effects.
