@@ -9,7 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -109,42 +109,82 @@ type Result struct {
 }
 
 // interactionSampler resamples neutron energies conditioned on having
-// interacted in the device, using a p(E)-weighted empirical table.
+// interacted in the device, using a p(E)-weighted empirical table drawn
+// from in O(1) by the Walker alias method. Each slot fuses the alias
+// probability with both candidate energies and is padded to 32 bytes, so a
+// draw touches exactly one slot — one cache line — instead of walking a
+// log(n) chain of a 1e5+-entry cumulative table.
 type interactionSampler struct {
-	energies []units.Energy
-	cum      []float64
-	meanP    float64
+	slots []samplerSlot
+	meanP float64
+}
+
+// samplerSlot is one fused alias slot: accept keeps self, reject takes the
+// pre-resolved alias energy.
+type samplerSlot struct {
+	prob  float64
+	self  units.Energy
+	alias units.Energy
+	_     float64 // pad to 32 bytes so slots never straddle cache lines
 }
 
 func buildInteractionSampler(d *device.Device, sp spectrum.Spectrum, n int, s *rng.Stream) *interactionSampler {
-	is := &interactionSampler{
-		energies: make([]units.Energy, n),
-		cum:      make([]float64, n),
-	}
-	sum := 0.0
+	energies := make([]units.Energy, n)
+	weights := make([]float64, n)
+	// Kahan-compensated total: with large CalSamples and long runs of
+	// zero (or tiny) interaction probabilities, a naive accumulator loses
+	// the small weights and skews both meanP and the table.
+	var sum, comp float64
 	for i := 0; i < n; i++ {
 		e := sp.Sample(s)
 		p := d.InteractionProbability(e)
-		is.energies[i] = e
-		sum += p
-		is.cum[i] = sum
+		energies[i] = e
+		weights[i] = p
+		y := p - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
 	}
-	is.meanP = sum / float64(n)
+	is := &interactionSampler{
+		slots: make([]samplerSlot, n),
+		meanP: sum / float64(n),
+	}
+	if sum <= 0 {
+		// Degenerate calibration: nothing interacts. Fall back to uniform
+		// selection over the calibration energies (prob 1 ⇒ always self).
+		for i := range is.slots {
+			is.slots[i] = samplerSlot{prob: 1, self: energies[i], alias: energies[i]}
+		}
+		return is
+	}
+	at, err := rng.NewAliasTable(weights)
+	if err != nil {
+		// Unreachable: interaction probabilities are finite, non-negative,
+		// and sum > 0 was checked above.
+		panic(fmt.Sprintf("beam: alias table over interaction probabilities: %v", err))
+	}
+	for i := range is.slots {
+		p, a := at.Slot(i)
+		is.slots[i] = samplerSlot{prob: p, self: energies[i], alias: energies[a]}
+	}
 	return is
 }
 
-// sample draws an interacting energy (weighted by interaction probability).
+// sample draws an interacting energy (weighted by interaction probability)
+// in constant time: the integer part of one uniform picks a slot, the
+// fractional part decides between the slot's energy and its alias.
 func (is *interactionSampler) sample(s *rng.Stream) units.Energy {
-	total := is.cum[len(is.cum)-1]
-	if total <= 0 {
-		return is.energies[s.Intn(len(is.energies))]
+	n := len(is.slots)
+	u := s.Float64() * float64(n)
+	i := int(u)
+	if i >= n {
+		i = n - 1
 	}
-	u := s.Float64() * total
-	i := sort.SearchFloat64s(is.cum, u)
-	if i >= len(is.energies) {
-		i = len(is.energies) - 1
+	sl := &is.slots[i]
+	if u-float64(i) < sl.prob {
+		return sl.self
 	}
-	return is.energies[i]
+	return sl.alias
 }
 
 // Run executes the campaign and reports counts and cross sections.
@@ -160,12 +200,15 @@ const defaultShardGrain = 8192
 
 // shardTally accumulates one shard's private counts. Everything here is
 // shard-local; the campaign Result is assembled only after every shard has
-// finished, by summing tallies in shard order.
+// finished, by summing tallies in shard order. byBand is a fixed array
+// indexed by band value (bands are 1..physics.NumBands) so the per-upset
+// increment is a register op, not a map insert; the merge converts it to
+// the Result's exported map.
 type shardTally struct {
 	sdc, due, masked   int64
 	upsets, reprograms int64
 	interactions       int64
-	byBand             map[physics.EnergyBand]int64
+	byBand             [physics.NumBands + 1]int64
 }
 
 // RunContext is Run with a caller context, so the campaign's telemetry
@@ -266,15 +309,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		res.Reprograms += tc.reprograms
 		totalInteractions += tc.interactions
 		for b, n := range tc.byBand {
-			res.FaultsByBand[b] += n
+			if n != 0 {
+				res.FaultsByBand[physics.EnergyBand(b)] += n
+			}
 		}
 	}
 	// Post campaign totals once, atomically, after the merge — per-run
 	// counter traffic from inside shards would be racy bookkeeping at
 	// best and a contention hot spot at worst.
+	// beam.neutrons_sampled counts calibration draws only (posted above);
+	// conditioned interaction draws are beam.interactions. Adding the
+	// interactions here again would double-count them across two counters.
 	reg := telemetry.Default
 	reg.Counter("beam.interactions").Add(totalInteractions)
-	reg.Counter("beam.neutrons_sampled").Add(totalInteractions)
 	reg.Counter("beam.sdc_events").Add(res.SDC)
 	reg.Counter("beam.due_events").Add(res.DUE)
 	reg.Counter("beam.runs").Add(int64(runs))
@@ -293,69 +340,130 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runShard executes one shard's slice of beam runs. Each shard owns a
+// shardRunner executes one shard's slice of beam runs. Each shard owns a
 // fresh workload instance and injector (injectors replay mutable workload
 // state and are not safe to share), plus the shard-local list of
 // persistent FPGA configuration faults (§V): corruption survives from run
 // to run until an observed error triggers a bitstream reload, and is
-// dropped at the shard boundary.
-func runShard(cfg Config, sh engine.Shard, sampler *interactionSampler, lambda float64, events *atomic.Int64) (shardTally, error) {
+// dropped at the shard boundary. The fault and persistent buffers are
+// owned by the runner and reused across all of the shard's runs, so the
+// steady-state run loop performs no heap allocations (DESIGN.md §11).
+type shardRunner struct {
+	cfg     Config
+	sampler *interactionSampler
+	lambda  float64
+	// expNegLambda caches exp(-lambda) for the Knuth Poisson draw, which
+	// otherwise recomputes it on every run.
+	expNegLambda float64
+	inj          *faultinject.Injector
+	steps        int
+	s            *rng.Stream
+	events       *atomic.Int64
+	tc           shardTally
+	faults       []faultinject.Timed
+	persistent   []faultinject.Timed
+}
+
+func newShardRunner(cfg Config, sh engine.Shard, sampler *interactionSampler, lambda float64, events *atomic.Int64) (*shardRunner, error) {
 	w, err := workload.New(cfg.WorkloadName)
 	if err != nil {
-		return shardTally{}, err
+		return nil, err
 	}
 	inj, err := faultinject.NewInjector(w, cfg.Seed, cfg.Inject)
 	if err != nil {
-		return shardTally{}, err
+		return nil, err
 	}
-	steps := w.Steps()
-	s := sh.Stream
-	tc := shardTally{byBand: map[physics.EnergyBand]int64{}}
-	var persistent []faultinject.Timed
-	for r := 0; r < sh.Count; r++ {
-		nInt := s.Poisson(lambda)
-		tc.interactions += nInt
-		var faults []faultinject.Timed
-		faults = append(faults, persistent...)
-		for k := int64(0); k < nInt; k++ {
-			e := sampler.sample(s)
-			f, upset := cfg.Device.InteractionUpset(e, s)
-			if !upset {
-				continue
-			}
-			tc.upsets++
-			tc.byBand[f.Band]++
-			tf := faultinject.Timed{Step: s.Intn(steps), Fault: f}
-			faults = append(faults, tf)
-			if f.Target == device.TargetConfig {
-				tf.Step = 0 // a corrupted bitstream affects the whole run
-				persistent = append(persistent, tf)
-			}
+	return &shardRunner{
+		cfg:          cfg,
+		sampler:      sampler,
+		lambda:       lambda,
+		expNegLambda: math.Exp(-lambda),
+		inj:          inj,
+		steps:        w.Steps(),
+		s:            sh.Stream,
+		events:       events,
+	}, nil
+}
+
+// poisson draws the per-run interaction count. It matches Stream.Poisson
+// draw-for-draw but uses the runner's cached exp(-lambda) in the Knuth
+// branch that every auto-tuned campaign (λ ≈ 0.05) takes.
+func (r *shardRunner) poisson() int64 {
+	if r.lambda <= 0 {
+		return 0
+	}
+	if r.lambda >= 30 {
+		return r.s.Poisson(r.lambda)
+	}
+	var k int64
+	p := 1.0
+	for {
+		p *= r.s.Float64()
+		if p <= r.expNegLambda {
+			return k
 		}
-		if len(faults) == 0 {
-			tc.masked++
+		k++
+	}
+}
+
+// oneRun executes a single beam run: a Poisson number of conditioned
+// interaction draws, device physics per interaction, then workload replay
+// under the collected faults. This is the campaign hot loop; it must stay
+// free of per-run allocations (asserted by TestRunLoopZeroAllocs).
+func (r *shardRunner) oneRun() {
+	s := r.s
+	nInt := r.poisson()
+	r.tc.interactions += nInt
+	faults := append(r.faults[:0], r.persistent...)
+	for k := int64(0); k < nInt; k++ {
+		e := r.sampler.sample(s)
+		f, upset := r.cfg.Device.InteractionUpset(e, s)
+		if !upset {
 			continue
 		}
-		switch inj.Run(faults, s).Outcome {
-		case faultinject.OutcomeSDC:
-			tc.sdc++
-			events.Add(1)
-			if len(persistent) > 0 {
-				persistent = persistent[:0] // reprogram the FPGA
-				tc.reprograms++
-			}
-		case faultinject.OutcomeDUE:
-			tc.due++
-			events.Add(1)
-			if len(persistent) > 0 {
-				persistent = persistent[:0]
-				tc.reprograms++
-			}
-		default:
-			tc.masked++
+		r.tc.upsets++
+		r.tc.byBand[f.Band]++
+		tf := faultinject.Timed{Step: s.Intn(r.steps), Fault: f}
+		faults = append(faults, tf)
+		if f.Target == device.TargetConfig {
+			tf.Step = 0 // a corrupted bitstream affects the whole run
+			r.persistent = append(r.persistent, tf)
 		}
 	}
-	return tc, nil
+	r.faults = faults[:0]
+	if len(faults) == 0 {
+		r.tc.masked++
+		return
+	}
+	switch r.inj.Run(faults, s).Outcome {
+	case faultinject.OutcomeSDC:
+		r.tc.sdc++
+		r.events.Add(1)
+		if len(r.persistent) > 0 {
+			r.persistent = r.persistent[:0] // reprogram the FPGA
+			r.tc.reprograms++
+		}
+	case faultinject.OutcomeDUE:
+		r.tc.due++
+		r.events.Add(1)
+		if len(r.persistent) > 0 {
+			r.persistent = r.persistent[:0]
+			r.tc.reprograms++
+		}
+	default:
+		r.tc.masked++
+	}
+}
+
+func runShard(cfg Config, sh engine.Shard, sampler *interactionSampler, lambda float64, events *atomic.Int64) (shardTally, error) {
+	r, err := newShardRunner(cfg, sh, sampler, lambda, events)
+	if err != nil {
+		return shardTally{}, err
+	}
+	for i := 0; i < sh.Count; i++ {
+		r.oneRun()
+	}
+	return r.tc, nil
 }
 
 // String renders a one-line summary.

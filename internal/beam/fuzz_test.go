@@ -5,36 +5,35 @@ import (
 	"testing"
 
 	"neutronsim/internal/device"
+	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/units"
 )
 
 // checkSampler validates the invariants of a built interaction sampler:
-// the cumulative table is non-decreasing and finite, the mean probability
-// is a finite non-negative number, and every drawn energy is a member of
-// the calibration table.
+// every alias slot carries a finite acceptance probability in [0, 1], the
+// mean probability is a finite non-negative number, and every drawn energy
+// is a member of the calibration table.
 func checkSampler(t *testing.T, is *interactionSampler, n int, s *rng.Stream) {
 	t.Helper()
-	if len(is.energies) != n || len(is.cum) != n {
-		t.Fatalf("table sizes %d/%d, want %d", len(is.energies), len(is.cum), n)
+	if len(is.slots) != n {
+		t.Fatalf("table size %d, want %d", len(is.slots), n)
 	}
-	prev := 0.0
-	for i, c := range is.cum {
-		if math.IsNaN(c) || math.IsInf(c, 0) {
-			t.Fatalf("cum[%d] = %v", i, c)
+	members := make(map[units.Energy]bool, n)
+	for _, sl := range is.slots {
+		members[sl.self] = true
+	}
+	for i, sl := range is.slots {
+		if math.IsNaN(sl.prob) || sl.prob < 0 || sl.prob > 1 {
+			t.Fatalf("slots[%d].prob = %v", i, sl.prob)
 		}
-		if c < prev {
-			t.Fatalf("cum[%d] = %v < cum[%d] = %v: not monotonic", i, c, i-1, prev)
+		if !members[sl.alias] {
+			t.Fatalf("slots[%d].alias energy %v not in the calibration table", i, sl.alias)
 		}
-		prev = c
 	}
 	if math.IsNaN(is.meanP) || math.IsInf(is.meanP, 0) || is.meanP < 0 {
 		t.Fatalf("meanP = %v", is.meanP)
-	}
-	members := make(map[units.Energy]bool, n)
-	for _, e := range is.energies {
-		members[e] = true
 	}
 	for i := 0; i < 64; i++ {
 		if e := is.sample(s); !members[e] {
@@ -43,9 +42,8 @@ func checkSampler(t *testing.T, is *interactionSampler, n int, s *rng.Stream) {
 	}
 }
 
-// FuzzInteractionSampler drives buildInteractionSampler and its
-// cumulative-table binary search with fuzzed device parameters and table
-// sizes, on both beam spectra.
+// FuzzInteractionSampler drives buildInteractionSampler and its alias draw
+// with fuzzed device parameters and table sizes, on both beam spectra.
 func FuzzInteractionSampler(f *testing.F) {
 	f.Add(uint64(1), 4.6e13, 0.02, 1.0, uint16(200))
 	f.Add(uint64(2), 0.0, 1e-9, 0.5, uint16(1))
@@ -53,7 +51,7 @@ func FuzzInteractionSampler(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed uint64, boron, sensFrac, qcrit float64, nRaw uint16) {
 		n := int(nRaw)%300 + 1
 		// Clamp the fuzzed parameters to their physical domains; the goal
-		// is to stress the table construction and search, not Validate.
+		// is to stress the table construction and draw, not Validate.
 		if math.IsNaN(boron) || boron < 0 {
 			boron = 0
 		}
@@ -82,35 +80,107 @@ func FuzzInteractionSampler(f *testing.F) {
 
 // TestSamplerZeroProbabilityFallback pins the degenerate-table branch: when
 // every interaction probability is zero the sampler falls back to uniform
-// selection over the calibration energies instead of dividing by zero.
+// selection over the calibration energies instead of dividing by zero. A
+// boron-free device on the thermal beamline has p(E) = 0 for every thermal
+// and epithermal calibration energy.
 func TestSamplerZeroProbabilityFallback(t *testing.T) {
-	energies := []units.Energy{1, 2, 4, 8}
-	is := &interactionSampler{energies: energies, cum: make([]float64, len(energies))}
+	d := device.K20()
+	d.Boron10PerCm2 = 0
+	const n = 64
+	is := buildInteractionSampler(d, spectrum.ROTAX(), n, rng.New(5))
+	if is.meanP != 0 {
+		t.Fatalf("meanP = %v, want 0 for a boron-free thermal campaign", is.meanP)
+	}
 	s := rng.New(9)
 	seen := map[units.Energy]int{}
-	for i := 0; i < 4000; i++ {
+	for i := 0; i < 50*n; i++ {
 		seen[is.sample(s)]++
 	}
-	for _, e := range energies {
-		if seen[e] == 0 {
-			t.Errorf("uniform fallback never drew energy %v: %v", e, seen)
+	if len(seen) < n/2 {
+		t.Errorf("uniform fallback drew only %d of %d calibration energies", len(seen), n)
+	}
+	for _, sl := range is.slots {
+		if sl.prob != 1 || sl.self != sl.alias {
+			t.Fatalf("degenerate slot %+v should always keep its own energy", sl)
 		}
 	}
 }
 
-// TestSamplerSearchBoundary pins the u == total edge of the binary search:
-// SearchFloat64s can return len(cum), which must clamp to the last entry.
-func TestSamplerSearchBoundary(t *testing.T) {
+// TestSamplerDrawBoundary pins the u → n edge of the alias draw: the slot
+// index is derived from Float64()*n, which can round up to exactly n for
+// large tables and must clamp to the last slot rather than index out of
+// range.
+func TestSamplerDrawBoundary(t *testing.T) {
 	is := &interactionSampler{
-		energies: []units.Energy{1, 2, 3},
-		cum:      []float64{0.25, 0.5, 0.5}, // trailing zero-probability entry
-		meanP:    0.5 / 3,
+		slots: []samplerSlot{
+			{prob: 0.25, self: 1, alias: 2},
+			{prob: 1, self: 2, alias: 2},
+			{prob: 0, self: 3, alias: 1}, // zero-weight trailing slot
+		},
+		meanP: 0.5 / 3,
 	}
 	s := rng.New(11)
 	for i := 0; i < 1000; i++ {
 		e := is.sample(s)
-		if e != 1 && e != 2 && e != 3 {
+		if e != 1 && e != 2 {
 			t.Fatalf("sample returned %v", e)
 		}
 	}
+}
+
+// TestSamplerZeroPrefixPrecision is the satellite regression for the
+// prefix-precision failure mode: one million calibration entries whose
+// first 90% carry zero weight. With naive accumulation the tiny tail
+// weights drown in rounding; the Kahan-summed alias table must draw only
+// tail energies and report an exact meanP.
+func TestSamplerZeroPrefixPrecision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e6-entry table build")
+	}
+	const (
+		n      = 1000000
+		prefix = n * 9 / 10
+		tailP  = 1e-9 // per-entry interaction probability in the tail
+	)
+	// A thermal calibration energy on a boron-free device has p = 0; a
+	// fast energy interacts through the silicon channel. Tune the device
+	// so the fast-channel probability is a known tiny constant.
+	d := device.K20()
+	d.Boron10PerCm2 = 0
+	d.SensitiveFraction = 1
+	d.SensitiveDepthUm = tailP / (4.996e22 * 1e-4 * 1.5 * 1e-24)
+	sp := &prefixSpectrum{prefix: prefix}
+	is := buildInteractionSampler(d, sp, n, rng.New(13))
+
+	wantMean := tailP * float64(n-prefix) / float64(n)
+	if rel := math.Abs(is.meanP-wantMean) / wantMean; rel > 1e-9 {
+		t.Errorf("meanP = %v, want %v (rel err %v)", is.meanP, wantMean, rel)
+	}
+	s := rng.New(17)
+	for i := 0; i < 100000; i++ {
+		if e := is.sample(s); !e.IsFast() {
+			t.Fatalf("draw %d returned zero-probability prefix energy %v", i, e)
+		}
+	}
+}
+
+// prefixSpectrum emits `prefix` thermal energies followed by fast energies,
+// giving the calibration table a long zero-probability prefix on a
+// boron-free device.
+type prefixSpectrum struct {
+	calls  int
+	prefix int
+}
+
+func (p *prefixSpectrum) Name() string { return "zero-prefix" }
+func (p *prefixSpectrum) Sample(*rng.Stream) units.Energy {
+	p.calls++
+	if p.calls <= p.prefix {
+		return 0.0253 // thermal: p = 0 without boron
+	}
+	return 2 * units.MeV
+}
+func (p *prefixSpectrum) TotalFlux() units.Flux { return 1 }
+func (p *prefixSpectrum) FluxInBand(physics.EnergyBand) units.Flux {
+	return 0
 }

@@ -227,8 +227,11 @@ func (d *Device) upsetFromInteraction(e units.Energy, s *rng.Stream) (Fault, boo
 	switch band {
 	case physics.BandThermal, physics.BandEpithermal:
 		// Capture products fly back-to-back; one of the two ions
-		// traverses the nearby sensitive node.
-		products := physics.BoronCaptureProducts(s)
+		// traverses the nearby sensitive node. The stack buffer keeps
+		// this branch off the heap — it runs once per interaction in
+		// every beam campaign.
+		var buf [physics.MaxCaptureProducts]physics.Secondary
+		products := physics.AppendBoronCaptureProducts(buf[:0], s)
 		charged := products[:2] // alpha and 7Li
 		sec = charged[s.Intn(2)]
 	default:

@@ -7,7 +7,6 @@ package faultinject
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/rng"
@@ -78,6 +77,10 @@ type Injector struct {
 	seed   uint64
 	cfg    Config
 	golden []float64
+	// scratch is the reusable data-fault buffer for Run; keeping it on the
+	// injector makes repeated injections allocation-free once its capacity
+	// has grown to the campaign's fault-count high-water mark.
+	scratch []Timed
 }
 
 // NewInjector runs the workload once cleanly to capture the golden output.
@@ -109,7 +112,7 @@ func (inj *Injector) Workload() workload.Workload { return inj.w }
 func (inj *Injector) Run(faults []Timed, s *rng.Stream) Result {
 	// Control-logic faults act at the architecture level, independent of
 	// the program state: each takes the run down with ControlDUEProb.
-	var dataFaults []Timed
+	dataFaults := inj.scratch[:0]
 	for _, f := range faults {
 		if f.Fault.Target == device.TargetControl {
 			if s.Bernoulli(inj.cfg.ControlDUEProb) {
@@ -119,12 +122,17 @@ func (inj *Injector) Run(faults []Timed, s *rng.Stream) Result {
 		}
 		dataFaults = append(dataFaults, f)
 	}
+	inj.scratch = dataFaults
 	if len(dataFaults) == 0 {
 		return Result{Outcome: OutcomeMasked}
 	}
-	sort.SliceStable(dataFaults, func(i, j int) bool {
-		return dataFaults[i].Step < dataFaults[j].Step
-	})
+	// Fault lists are tiny (λ is tuned toward ~1 fault per run), so a
+	// stable insertion sort beats sort.SliceStable and allocates nothing.
+	for i := 1; i < len(dataFaults); i++ {
+		for j := i; j > 0 && dataFaults[j].Step < dataFaults[j-1].Step; j-- {
+			dataFaults[j], dataFaults[j-1] = dataFaults[j-1], dataFaults[j]
+		}
+	}
 	inj.w.Reset(inj.seed)
 	steps := inj.w.Steps()
 	flipped := 0

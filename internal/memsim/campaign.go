@@ -368,35 +368,39 @@ func runShard(cfg Config, sh engine.Shard, rate float64) *Result {
 func patternForPass(p int) bool { return p%2 == 0 }
 
 // categorySampler draws fault categories with the spec's weights using a
-// deterministic category order.
+// deterministic category order and an O(1) alias draw.
 type categorySampler struct {
 	cats []Category
-	cum  []float64
+	pick *rng.AliasTable
 }
 
 func newCategorySampler(weights map[Category]float64) *categorySampler {
 	cs := &categorySampler{}
-	total := 0.0
+	var ws []float64
 	for _, c := range []Category{Transient, Intermittent, Permanent, SEFI} {
 		w := weights[c]
 		if w <= 0 {
 			continue
 		}
-		total += w
 		cs.cats = append(cs.cats, c)
-		cs.cum = append(cs.cum, total)
+		ws = append(ws, w)
 	}
+	if len(cs.cats) == 0 {
+		// Degenerate spec with no positive weight: sample will panic, as
+		// the cumulative-table version did. Validation rejects this
+		// upstream.
+		return cs
+	}
+	pick, err := rng.NewAliasTable(ws)
+	if err != nil {
+		panic(fmt.Sprintf("memsim: category weights: %v", err))
+	}
+	cs.pick = pick
 	return cs
 }
 
 func (cs *categorySampler) sample(s *rng.Stream) Category {
-	u := s.Float64() * cs.cum[len(cs.cum)-1]
-	for i, c := range cs.cum {
-		if u < c {
-			return cs.cats[i]
-		}
-	}
-	return cs.cats[len(cs.cats)-1]
+	return cs.cats[cs.pick.Draw(s)]
 }
 
 func otherDirection(d Direction) Direction {

@@ -118,20 +118,36 @@ const (
 	siliconDisplacementMeV = 0.025 // ~25 keV displacement-damage threshold scale
 )
 
-// BoronCaptureProducts samples the charged products of one ¹⁰B(n,α)⁷Li
-// capture. Both the alpha and the ⁷Li ion can upset a cell.
-func BoronCaptureProducts(s *rng.Stream) []Secondary {
+// MaxCaptureProducts is the largest number of secondaries a single capture
+// emits; callers sizing scratch for AppendBoronCaptureProducts can use a
+// [MaxCaptureProducts]Secondary stack buffer.
+const MaxCaptureProducts = 3
+
+// AppendBoronCaptureProducts samples the charged products of one
+// ¹⁰B(n,α)⁷Li capture and appends them to dst, returning the extended
+// slice. The first two products are always the alpha and the ⁷Li ion — the
+// particles that can upset a cell. Appending into caller-owned scratch
+// (e.g. a [MaxCaptureProducts]Secondary stack array) keeps Monte Carlo
+// inner loops allocation-free.
+func AppendBoronCaptureProducts(dst []Secondary, s *rng.Stream) []Secondary {
 	if s.Bernoulli(boronExcitedBranch) {
-		return []Secondary{
-			{Kind: Alpha, Energy: units.Energy(alphaExcitedMeV * 1e6)},
-			{Kind: Lithium7, Energy: units.Energy(lithiumExcitedMeV * 1e6)},
-			{Kind: Gamma, Energy: units.Energy(lithiumGammaMeV * 1e6)},
-		}
+		return append(dst,
+			Secondary{Kind: Alpha, Energy: units.Energy(alphaExcitedMeV * 1e6)},
+			Secondary{Kind: Lithium7, Energy: units.Energy(lithiumExcitedMeV * 1e6)},
+			Secondary{Kind: Gamma, Energy: units.Energy(lithiumGammaMeV * 1e6)},
+		)
 	}
-	return []Secondary{
-		{Kind: Alpha, Energy: units.Energy(alphaGroundMeV * 1e6)},
-		{Kind: Lithium7, Energy: units.Energy(lithiumGroundMeV * 1e6)},
-	}
+	return append(dst,
+		Secondary{Kind: Alpha, Energy: units.Energy(alphaGroundMeV * 1e6)},
+		Secondary{Kind: Lithium7, Energy: units.Energy(lithiumGroundMeV * 1e6)},
+	)
+}
+
+// BoronCaptureProducts samples the charged products of one ¹⁰B(n,α)⁷Li
+// capture into a fresh slice. Hot loops should prefer
+// AppendBoronCaptureProducts with reused scratch.
+func BoronCaptureProducts(s *rng.Stream) []Secondary {
+	return AppendBoronCaptureProducts(nil, s)
 }
 
 // Helium3CaptureProducts returns the p + t pair from ³He(n,p)³H (Q=764 keV),
@@ -229,10 +245,18 @@ func DepositedCharge(sec Secondary, s *rng.Stream) float64 {
 	return ChargeFC(units.Energy(float64(sec.Energy) * frac))
 }
 
+// AppendFastSiliconSecondary appends the sampled fast-silicon secondary to
+// dst, the scratch-buffer counterpart of FastSiliconSecondary for callers
+// that accumulate secondaries from mixed interaction kinds.
+func AppendFastSiliconSecondary(dst []Secondary, e units.Energy, s *rng.Stream) []Secondary {
+	return append(dst, FastSiliconSecondary(e, s))
+}
+
 // FastSiliconSecondary samples the dominant charged secondary from a fast
 // neutron interacting in silicon: mostly elastic Si recoils, with a tail of
 // (n,α)/(n,p) reaction products above their ~2.7/4 MeV thresholds. The
-// returned secondary is what the device model converts to charge.
+// returned secondary is what the device model converts to charge. It
+// returns by value and never allocates.
 func FastSiliconSecondary(e units.Energy, s *rng.Stream) Secondary {
 	eMeV := e.MeV()
 	// Reaction channels open progressively with energy.
@@ -262,6 +286,12 @@ const (
 	BandEpithermal                       // 0.5 eV <= E < 1 MeV
 	BandFast                             // E >= 1 MeV
 )
+
+// NumBands is the number of defined energy bands. Band values are
+// 1..NumBands, so a fixed [NumBands + 1]int64 array indexed by band is the
+// allocation-free replacement for a map keyed by EnergyBand in tally hot
+// paths.
+const NumBands = 3
 
 // String names the band.
 func (b EnergyBand) String() string {

@@ -1,0 +1,125 @@
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// AliasTable draws from a fixed discrete distribution in O(1) time using
+// Walker's alias method (Vose's linear-time construction). A draw costs one
+// uniform variate and one table read, independent of the number of
+// outcomes — the constant-time replacement for linear scans and
+// binary searches over cumulative-weight tables in sampling hot loops.
+//
+// The table is immutable after construction and safe for concurrent Draw
+// calls (each caller supplies its own *Stream).
+type AliasTable struct {
+	// prob[i] is the probability that slot i keeps its own outcome; with
+	// probability 1-prob[i] the draw is redirected to alias[i]. Every slot
+	// carries exactly 1/n of the total mass, which is what makes the draw
+	// constant-time.
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds an alias table over the given outcome weights.
+// Weights must be finite and non-negative with a positive total;
+// zero-weight outcomes are accepted and are simply never drawn.
+func NewAliasTable(weights []float64) (*AliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, errors.New("rng: alias table needs at least one weight")
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("rng: alias table size %d exceeds int32 indices", n)
+	}
+	// Kahan-compensated total: weight tables routinely mix magnitudes
+	// spanning many decades (e.g. interaction probabilities with long
+	// zero or near-zero prefixes), where a naive sum loses the small
+	// contributions entirely.
+	var sum, comp float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: alias weight %d must be finite and non-negative, got %v", i, w)
+		}
+		y := w - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	if sum <= 0 {
+		return nil, errors.New("rng: alias weights must have a positive total")
+	}
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Vose construction: scale each weight to mean 1, then repeatedly pair
+	// an under-full slot with an over-full one. prob doubles as the scaled
+	// workspace — once a slot leaves the small list its value is final.
+	scaled := t.prob
+	scale := float64(n) / sum
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * scale
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are exactly-full slots up to rounding; both lists can be
+	// non-empty here only through floating-point drift.
+	for _, i := range large {
+		scaled[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		scaled[i] = 1
+		t.alias[i] = i
+	}
+	return t, nil
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Slot exposes slot i's acceptance probability and alias target, letting
+// callers fuse the table with their own per-outcome payloads into a single
+// cache-friendly array (see beam's interaction sampler).
+func (t *AliasTable) Slot(i int) (prob float64, alias int) {
+	return t.prob[i], int(t.alias[i])
+}
+
+// Draw returns an outcome index distributed according to the construction
+// weights. It consumes exactly one uniform variate: the integer part picks
+// the slot and the fractional part decides between the slot's own outcome
+// and its alias.
+func (t *AliasTable) Draw(s *Stream) int {
+	n := len(t.prob)
+	u := s.Float64() * float64(n)
+	i := int(u)
+	if i >= n {
+		// Float64 < 1, but u can round up to exactly n for large n.
+		i = n - 1
+	}
+	if u-float64(i) < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

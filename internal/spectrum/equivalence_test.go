@@ -1,0 +1,175 @@
+package spectrum
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"neutronsim/internal/physics"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/units"
+)
+
+// TestAliasBandFluxEquivalence is the statistical-equivalence bound for
+// the alias sampling path: Monte Carlo per-band flux estimates from
+// Mixture.Sample must land within 1% of the analytic component fluxes.
+// Component selection is an exact alias draw and every energy table is
+// band-pure, so the only deviation is binomial noise — 2e6 draws put 1%
+// at ≳3σ for every catalog band share.
+func TestAliasBandFluxEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2e6 draws per spectrum")
+	}
+	env, err := NewEnvironment(EnvironmentConfig{
+		Name:                  "equivalence",
+		FastFluxPerHour:       13,
+		EpithermalFluxPerHour: 5,
+		ThermalFluxPerHour:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000000
+	for i, sp := range []Spectrum{ChipIR(), ROTAX(), env} {
+		got := EstimateBandFluxes(sp, n, rng.New(uint64(100+i)))
+		for _, b := range []physics.EnergyBand{physics.BandThermal, physics.BandEpithermal, physics.BandFast} {
+			want := sp.FluxInBand(b)
+			if want == 0 {
+				if got[b] != 0 {
+					t.Errorf("%s %s: estimated flux %v for a band with no component", sp.Name(), b, got[b])
+				}
+				continue
+			}
+			rel := math.Abs(float64(got[b]-want)) / float64(want)
+			if rel > 0.01 {
+				t.Errorf("%s %s: estimated flux %v vs analytic %v (rel err %.4f > 1%%)",
+					sp.Name(), b, got[b], want, rel)
+			}
+		}
+	}
+}
+
+// rejectionSample reproduces the pre-alias Mixture.Sample draw: a linear
+// flux-weighted component scan followed by the bounded band-purity
+// rejection loop over the raw component sampler. The equivalence tests
+// compare the tabulated alias path against this reference.
+func rejectionSample(comps []Component, total units.Flux, s *rng.Stream) units.Energy {
+	u := s.Float64() * float64(total)
+	acc := 0.0
+	comp := comps[len(comps)-1]
+	for _, c := range comps {
+		acc += float64(c.Flux)
+		if u < acc {
+			comp = c
+			break
+		}
+	}
+	for i := 0; i < 64; i++ {
+		e := comp.Sample(s)
+		if physics.Classify(e) == comp.Band {
+			return e
+		}
+	}
+	return bandClamp(comp.Band)
+}
+
+// ksDistance returns the two-sample Kolmogorov-Smirnov statistic
+// sup|F1 - F2| for sorted samples a and b.
+func ksDistance(a, b []float64) float64 {
+	d := 0.0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// TestAliasCDFEquivalence is the KS-style comparison from the issue: the
+// energy CDF drawn through the alias + inverse-CDF tables must match the
+// CDF of the old rejection sampler. The tolerance budgets ~1.5%
+// table-construction noise (8192 samples per component) plus two-sample
+// noise at 2×200k draws.
+func TestAliasCDFEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("400k draws per spectrum")
+	}
+	const n = 200000
+	for _, m := range []*Mixture{ChipIR(), ROTAX()} {
+		alias := make([]float64, n)
+		reference := make([]float64, n)
+		sa := rng.New(21)
+		sr := rng.New(22)
+		comps := m.Components()
+		for i := 0; i < n; i++ {
+			alias[i] = float64(m.Sample(sa))
+			reference[i] = float64(rejectionSample(comps, m.TotalFlux(), sr))
+		}
+		sort.Float64s(alias)
+		sort.Float64s(reference)
+		if d := ksDistance(alias, reference); d > 0.025 {
+			t.Errorf("%s: KS distance alias vs rejection sampler = %.4f, want <= 0.025", m.Name(), d)
+		}
+	}
+}
+
+// TestMixtureBandClampAllBands extends the pathological-sampler coverage
+// to every band: a component whose raw sampler never lands in its declared
+// band must still yield in-band energies through the tabulated path.
+func TestMixtureBandClampAllBands(t *testing.T) {
+	cases := []struct {
+		band    physics.EnergyBand
+		rogue   units.Energy // always outside the declared band
+		inBand  func(units.Energy) bool
+		wantVal units.Energy
+	}{
+		{physics.BandThermal, 5 * units.MeV, units.Energy.IsThermal, 0.0253},
+		{physics.BandEpithermal, 0.001, func(e units.Energy) bool { return physics.Classify(e) == physics.BandEpithermal }, 1e3},
+		{physics.BandFast, 0.0253, units.Energy.IsFast, 10 * units.MeV},
+	}
+	for _, tc := range cases {
+		t.Run(tc.band.String(), func(t *testing.T) {
+			m, err := NewMixture("degenerate", []Component{{
+				Label:  "mislabeled",
+				Band:   tc.band,
+				Flux:   1,
+				Sample: func(*rng.Stream) units.Energy { return tc.rogue },
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := rng.New(4)
+			for i := 0; i < 100; i++ {
+				e := m.Sample(s)
+				if !tc.inBand(e) {
+					t.Fatalf("clamped sample %v not in band %s", e, tc.band)
+				}
+				if e != tc.wantVal {
+					t.Fatalf("clamped sample %v, want the %s clamp energy %v", e, tc.band, tc.wantVal)
+				}
+			}
+		})
+	}
+}
+
+// TestNewMixtureRejectsZeroFlux pins construction-time validation: a
+// zero- or negative-flux component can never reach the alias table.
+func TestNewMixtureRejectsZeroFlux(t *testing.T) {
+	sampler := func(*rng.Stream) units.Energy { return 0.0253 }
+	for _, flux := range []units.Flux{0, -1} {
+		_, err := NewMixture("bad", []Component{
+			{Label: "ok", Band: physics.BandThermal, Flux: 1, Sample: sampler},
+			{Label: "bad", Band: physics.BandThermal, Flux: flux, Sample: sampler},
+		})
+		if err == nil {
+			t.Errorf("NewMixture accepted component flux %v", flux)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package spectrum
 import (
 	"errors"
 	"math"
+	"sort"
 
 	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
@@ -40,10 +41,18 @@ type Component struct {
 }
 
 // Mixture is a spectrum assembled from flux-weighted components.
+//
+// Sampling is constant-time: component selection is a Walker alias draw
+// over the component fluxes, and each component's energy distribution is
+// tabulated once at construction as an inverse-CDF quantile table
+// (DESIGN.md §11). Both structures are immutable after NewMixture, so a
+// Mixture may be sampled concurrently from independent streams.
 type Mixture struct {
-	name  string
-	comps []Component
-	total units.Flux
+	name   string
+	comps  []Component
+	total  units.Flux
+	pick   *rng.AliasTable
+	tables []energyTable
 }
 
 // NewMixture builds a mixture spectrum. Components must have positive flux
@@ -53,6 +62,7 @@ func NewMixture(name string, comps []Component) (*Mixture, error) {
 		return nil, errors.New("spectrum: mixture needs at least one component")
 	}
 	m := &Mixture{name: name}
+	weights := make([]float64, 0, len(comps))
 	for _, c := range comps {
 		if c.Flux <= 0 {
 			return nil, errors.New("spectrum: component flux must be positive")
@@ -62,6 +72,17 @@ func NewMixture(name string, comps []Component) (*Mixture, error) {
 		}
 		m.comps = append(m.comps, c)
 		m.total += c.Flux
+		weights = append(weights, float64(c.Flux))
+	}
+	pick, err := rng.NewAliasTable(weights)
+	if err != nil {
+		// Unreachable: every weight is a validated positive flux.
+		return nil, err
+	}
+	m.pick = pick
+	m.tables = make([]energyTable, len(m.comps))
+	for i, c := range m.comps {
+		m.tables[i] = buildEnergyTable(c, i)
 	}
 	return m, nil
 }
@@ -83,28 +104,94 @@ func (m *Mixture) FluxInBand(b physics.EnergyBand) units.Flux {
 	return f
 }
 
-// Sample draws a component proportionally to flux, then an energy from it.
-// Samples are re-drawn (bounded) until they fall inside the component's
-// declared band, keeping components band-pure.
+// Sample draws a component proportionally to flux, then an energy from its
+// tabulated distribution. The cost is two uniform draws and two table
+// reads regardless of component count or the shape of the component
+// samplers — no rejection loops run at sampling time. Band purity is
+// structural: every table knot lies inside the component's declared band
+// (re-drawn or clamped at construction), and each band is a contiguous
+// energy interval, so interpolation cannot leave it.
 func (m *Mixture) Sample(s *rng.Stream) units.Energy {
-	u := s.Float64() * float64(m.total)
-	acc := 0.0
-	comp := m.comps[len(m.comps)-1]
-	for _, c := range m.comps {
-		acc += float64(c.Flux)
-		if u < acc {
-			comp = c
-			break
-		}
+	return m.tables[m.pick.Draw(s)].draw(s)
+}
+
+// Components returns a copy of the component list.
+func (m *Mixture) Components() []Component {
+	return append([]Component(nil), m.comps...)
+}
+
+// Energy tables -------------------------------------------------------------
+
+const (
+	// energyTableSamples is the Monte Carlo budget used to tabulate one
+	// component's CDF at construction. The empirical-CDF error scales as
+	// 1/sqrt(n): ~1.5% in Kolmogorov distance at 8192, well inside the
+	// statistical-equivalence tolerances and paid once per component
+	// instead of per draw.
+	energyTableSamples = 8192
+	// energyTableKnots is the number of equally-probable quantile knots
+	// kept from the sorted sample; draws interpolate linearly between
+	// adjacent knots. 257 knots put adjacent quantiles within a few
+	// percent of each other in energy across every catalog component.
+	energyTableKnots = 257
+	// energyTableSeed seeds the private construction streams. Tables are a
+	// pure function of (component sampler, band, index), never of any
+	// caller stream, so building the same catalog spectrum twice yields
+	// identical tables.
+	energyTableSeed = 0x7ab1e5eed0c0ffee
+	// bandRedrawAttempts bounds the per-sample band-purity rejection loop
+	// during table construction, mirroring the bound the old per-draw
+	// rejection used.
+	bandRedrawAttempts = 64
+)
+
+// energyTable is an inverse-CDF quantile table for one band-pure
+// component: knots[k] is the k/(len-1) quantile of the component's energy
+// distribution. A draw picks a uniform position along the knots and
+// interpolates — one uniform variate, one table read, no rejection.
+type energyTable struct {
+	knots []float64
+}
+
+func buildEnergyTable(c Component, idx int) energyTable {
+	s := rng.NewSequence(energyTableSeed, uint64(idx))
+	samples := make([]float64, energyTableSamples)
+	for i := range samples {
+		samples[i] = float64(sampleInBand(c, s))
 	}
-	for i := 0; i < 64; i++ {
-		e := comp.Sample(s)
-		if physics.Classify(e) == comp.Band {
+	sort.Float64s(samples)
+	knots := make([]float64, energyTableKnots)
+	last := len(samples) - 1
+	for k := range knots {
+		pos := float64(k) * float64(last) / float64(energyTableKnots-1)
+		j := int(pos)
+		if j >= last {
+			knots[k] = samples[last]
+			continue
+		}
+		f := pos - float64(j)
+		knots[k] = samples[j] + f*(samples[j+1]-samples[j])
+	}
+	return energyTable{knots: knots}
+}
+
+// sampleInBand draws from the component sampler until the energy lands in
+// the declared band, clamping after bandRedrawAttempts so a pathological
+// sampler (one that never hits its band) still yields a usable in-band
+// table instead of looping forever.
+func sampleInBand(c Component, s *rng.Stream) units.Energy {
+	for i := 0; i < bandRedrawAttempts; i++ {
+		e := c.Sample(s)
+		if physics.Classify(e) == c.Band {
 			return e
 		}
 	}
-	// Pathological sampler: clamp into the band instead of looping forever.
-	switch comp.Band {
+	return bandClamp(c.Band)
+}
+
+// bandClamp is a representative in-band energy for pathological samplers.
+func bandClamp(b physics.EnergyBand) units.Energy {
+	switch b {
 	case physics.BandThermal:
 		return 0.0253
 	case physics.BandFast:
@@ -114,9 +201,15 @@ func (m *Mixture) Sample(s *rng.Stream) units.Energy {
 	}
 }
 
-// Components returns a copy of the component list.
-func (m *Mixture) Components() []Component {
-	return append([]Component(nil), m.comps...)
+func (t energyTable) draw(s *rng.Stream) units.Energy {
+	last := len(t.knots) - 1
+	u := s.Float64() * float64(last)
+	j := int(u)
+	if j >= last {
+		j = last - 1
+	}
+	f := u - float64(j)
+	return units.Energy(t.knots[j] + f*(t.knots[j+1]-t.knots[j]))
 }
 
 // Samplers -----------------------------------------------------------------

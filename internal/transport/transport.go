@@ -207,9 +207,11 @@ func SimulateContext(ctx context.Context, slabs []Slab, n int, source func(*rng.
 	}, n, defaultShardGrain, func(_ context.Context, sh engine.Shard) (*Tally, error) {
 		t := newTally()
 		t.Incident = sh.Count
+		tt := &trackTally{absorbedBy: map[string]int{}}
 		for i := 0; i < sh.Count; i++ {
-			trackOne(slabs, bounds, source(sh.Stream), sh.Stream, kT, t, opts)
+			trackOne(slabs, bounds, source(sh.Stream), sh.Stream, kT, tt, opts)
 		}
+		tt.fold(t)
 		return t, nil
 	})
 	if err != nil {
@@ -246,7 +248,37 @@ func (t *Tally) merge(o *Tally) {
 	}
 }
 
-func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT float64, tally *Tally, opts Options) {
+// trackTally is the shard-local tally trackOne updates. Per-band exit
+// counters are fixed arrays indexed by band value (1..physics.NumBands) so
+// per-neutron bookkeeping never touches a map; fold converts to the
+// exported map-based Tally once per shard.
+type trackTally struct {
+	collisions  int64
+	absorbed    int
+	lost        int
+	transmitted [physics.NumBands + 1]int
+	reflected   [physics.NumBands + 1]int
+	absorbedBy  map[string]int
+}
+
+func (tt *trackTally) fold(t *Tally) {
+	t.Collisions += tt.collisions
+	t.Absorbed += tt.absorbed
+	t.Lost += tt.lost
+	for b := 1; b < len(tt.transmitted); b++ {
+		if n := tt.transmitted[b]; n != 0 {
+			t.Transmitted[physics.EnergyBand(b)] += n
+		}
+		if n := tt.reflected[b]; n != 0 {
+			t.Reflected[physics.EnergyBand(b)] += n
+		}
+	}
+	for e, n := range tt.absorbedBy {
+		t.AbsorbedByElement[e] += n
+	}
+}
+
+func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT float64, tally *trackTally, opts Options) {
 	x := 0.0
 	mu := 1.0 // entering along +x
 	slab := 0
@@ -280,13 +312,13 @@ func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT 
 			if mu > 0 {
 				slab++
 				if x >= back || slab >= len(slabs) {
-					tally.Transmitted[physics.Classify(e)]++
+					tally.transmitted[physics.Classify(e)]++
 					return
 				}
 			} else {
 				slab--
 				if x <= 0 || slab < 0 {
-					tally.Reflected[physics.Classify(e)]++
+					tally.reflected[physics.Classify(e)]++
 					return
 				}
 			}
@@ -294,10 +326,10 @@ func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT 
 		}
 		// Collision inside the current slab.
 		x += flight * mu
-		tally.Collisions++
+		tally.collisions++
 		if s.Bernoulli(m.AbsorptionProbability(e)) {
-			tally.Absorbed++
-			tally.AbsorbedByElement[sampleAbsorber(m, e, s)]++
+			tally.absorbed++
+			tally.absorbedBy[sampleAbsorber(m, e, s)]++
 			return
 		}
 		nucleus := m.SampleScatterer(s)
@@ -315,8 +347,8 @@ func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT 
 			break
 		}
 	}
-	tally.Lost++
-	tally.Absorbed++ // a lost neutron has certainly thermalized and died
+	tally.lost++
+	tally.absorbed++ // a lost neutron has certainly thermalized and died
 }
 
 // sampleAbsorber picks which element captured the neutron, weighted by the
