@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sampling neutrond clean
+.PHONY: check vet build test race bench bench-sampling bench-plan neutrond clean
 
 check: vet build race
 
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-bench: bench-sampling
+bench: bench-sampling bench-plan
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # bench-sampling runs the sampling + beam hot-loop benchmarks single-threaded
@@ -34,8 +34,15 @@ bench: bench-sampling
 bench-sampling:
 	GOMAXPROCS=1 $(GO) test -run='^$$' -bench=. -benchmem ./internal/spectrum ./internal/beam
 
+# bench-plan measures campaign setup cold (full calibration compile) vs warm
+# (plan-cache hit) and writes BENCH_plan.json. The snapshot writer fails if
+# the warm path compiled anything during the timed loop or is less than 10x
+# faster than cold setup.
+bench-plan:
+	GOMAXPROCS=1 $(GO) test -run='^$$' -bench='BenchmarkPlan' -benchmem ./internal/plan
+
 neutrond:
 	$(GO) build -o neutrond ./cmd/neutrond
 
 clean:
-	rm -f BENCH_telemetry.json BENCH_sampling.json neutrond
+	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json neutrond

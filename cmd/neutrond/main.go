@@ -7,7 +7,7 @@
 //
 //	neutrond [-addr 127.0.0.1:8791] [-queue 64] [-job-workers 2]
 //	         [-job-shards N] [-cache-entries 256] [-cache-mb 64]
-//	         [-job-timeout 10m] [-drain-timeout 30s]
+//	         [-plan-cache-entries 64] [-job-timeout 10m] [-drain-timeout 30s]
 //
 // On SIGINT/SIGTERM the server drains: intake answers 503, in-flight jobs
 // get -drain-timeout to finish before being canceled, and the final
@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"neutronsim/internal/plan"
 	"neutronsim/internal/server"
 	"neutronsim/internal/telemetry"
 )
@@ -42,6 +43,7 @@ func run(args []string) error {
 	jobShards := fs.Int("job-shards", 0, "per-job engine shard workers (0 = GOMAXPROCS; never affects results)")
 	cacheEntries := fs.Int("cache-entries", 256, "result cache entry bound")
 	cacheMB := fs.Int("cache-mb", 64, "result cache size bound in MiB")
+	planEntries := fs.Int("plan-cache-entries", plan.DefaultCapacity, "compiled campaign-plan cache entry bound (shared across the worker pool)")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job deadline (negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs may finish after SIGTERM")
 	obs := telemetry.BindFlags(fs)
@@ -52,6 +54,7 @@ func run(args []string) error {
 		return err
 	}
 	defer obs.Close()
+	plan.Shared.SetCapacity(*planEntries)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

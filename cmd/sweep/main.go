@@ -148,8 +148,13 @@ func buildGrid(bMin, bMax float64, bSteps int, qMin, qMax float64, qSteps int) [
 func evaluate(points []*point, samples, workers int, seed uint64) error {
 	evalStart := time.Now()
 	evaluated := telemetry.Default.Counter("sweep.points_evaluated")
+	// One compiled spectrum per beamline and one device template for the
+	// whole grid; each design point copies the template instead of
+	// re-deriving the catalog geometry per shard.
 	chip := spectrum.ChipIR()
 	rotax := spectrum.ROTAX()
+	template := device.K20() // planar SRAM-like template geometry
+	template.Name = "sweep"
 	// Pre-split one stream per point for scheduling-independent results.
 	root := rng.New(seed)
 	streams := make([]*rng.Stream, len(points))
@@ -173,8 +178,7 @@ func evaluate(points []*point, samples, workers int, seed uint64) error {
 	_, err := engine.Map(context.Background(), cfg, len(points), 1,
 		func(_ context.Context, sh engine.Shard) (struct{}, error) {
 			p := points[sh.Index]
-			d := device.K20() // planar SRAM-like template geometry
-			d.Name = "sweep"
+			d := *template
 			d.Boron10PerCm2 = p.boron
 			d.QcritFC = p.qcrit
 			d.QcritSigmaFC = p.qcrit / 4

@@ -17,6 +17,7 @@ import (
 	"neutronsim/internal/engine"
 	"neutronsim/internal/faultinject"
 	"neutronsim/internal/physics"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/stats"
@@ -108,85 +109,6 @@ type Result struct {
 	DUECrossSection stats.RateEstimate
 }
 
-// interactionSampler resamples neutron energies conditioned on having
-// interacted in the device, using a p(E)-weighted empirical table drawn
-// from in O(1) by the Walker alias method. Each slot fuses the alias
-// probability with both candidate energies and is padded to 32 bytes, so a
-// draw touches exactly one slot — one cache line — instead of walking a
-// log(n) chain of a 1e5+-entry cumulative table.
-type interactionSampler struct {
-	slots []samplerSlot
-	meanP float64
-}
-
-// samplerSlot is one fused alias slot: accept keeps self, reject takes the
-// pre-resolved alias energy.
-type samplerSlot struct {
-	prob  float64
-	self  units.Energy
-	alias units.Energy
-	_     float64 // pad to 32 bytes so slots never straddle cache lines
-}
-
-func buildInteractionSampler(d *device.Device, sp spectrum.Spectrum, n int, s *rng.Stream) *interactionSampler {
-	energies := make([]units.Energy, n)
-	weights := make([]float64, n)
-	// Kahan-compensated total: with large CalSamples and long runs of
-	// zero (or tiny) interaction probabilities, a naive accumulator loses
-	// the small weights and skews both meanP and the table.
-	var sum, comp float64
-	for i := 0; i < n; i++ {
-		e := sp.Sample(s)
-		p := d.InteractionProbability(e)
-		energies[i] = e
-		weights[i] = p
-		y := p - comp
-		t := sum + y
-		comp = (t - sum) - y
-		sum = t
-	}
-	is := &interactionSampler{
-		slots: make([]samplerSlot, n),
-		meanP: sum / float64(n),
-	}
-	if sum <= 0 {
-		// Degenerate calibration: nothing interacts. Fall back to uniform
-		// selection over the calibration energies (prob 1 ⇒ always self).
-		for i := range is.slots {
-			is.slots[i] = samplerSlot{prob: 1, self: energies[i], alias: energies[i]}
-		}
-		return is
-	}
-	at, err := rng.NewAliasTable(weights)
-	if err != nil {
-		// Unreachable: interaction probabilities are finite, non-negative,
-		// and sum > 0 was checked above.
-		panic(fmt.Sprintf("beam: alias table over interaction probabilities: %v", err))
-	}
-	for i := range is.slots {
-		p, a := at.Slot(i)
-		is.slots[i] = samplerSlot{prob: p, self: energies[i], alias: energies[a]}
-	}
-	return is
-}
-
-// sample draws an interacting energy (weighted by interaction probability)
-// in constant time: the integer part of one uniform picks a slot, the
-// fractional part decides between the slot's energy and its alias.
-func (is *interactionSampler) sample(s *rng.Stream) units.Energy {
-	n := len(is.slots)
-	u := s.Float64() * float64(n)
-	i := int(u)
-	if i >= n {
-		i = n - 1
-	}
-	sl := &is.slots[i]
-	if u-float64(i) < sl.prob {
-		return sl.self
-	}
-	return sl.alias
-}
-
 // Run executes the campaign and reports counts and cross sections.
 func Run(cfg Config) (*Result, error) {
 	return RunContext(context.Background(), cfg)
@@ -233,15 +155,22 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if _, err := workload.New(cfg.WorkloadName); err != nil {
 		return nil, err
 	}
-	s := rng.New(cfg.Seed)
+	// Campaign setup compiles through the shared plan cache: the first
+	// campaign for a (device physics, spectrum, CalSamples, seed) key pays
+	// the calibration, every later one reuses the compiled plan
+	// bit-identically (DESIGN.md §12).
 	_, cal := telemetry.StartSpan(ctx, "beam.calibrate")
-	sampler := buildInteractionSampler(cfg.Device, cfg.Beam, cfg.CalSamples, s.Split())
+	pl := plan.Shared.For(cfg.Device, cfg.Beam, cfg.CalSamples, cfg.Seed)
 	cal.End()
+	// beam.neutrons_sampled counts the campaign's calibration budget; it is
+	// posted whether the plan was compiled here or served from the cache,
+	// so the counter stays proportional to campaigns run rather than to
+	// cache misses.
 	telemetry.Count("beam.neutrons_sampled", int64(cfg.CalSamples))
 
 	flux := float64(cfg.Beam.TotalFlux()) * cfg.Derating
 	area := cfg.Device.DieAreaCm2
-	ratePerSecond := flux * area * sampler.meanP
+	ratePerSecond := flux * area * pl.MeanP()
 	runSeconds := cfg.RunSeconds
 	if runSeconds <= 0 {
 		// Auto-tune so that a run rarely collects more than one fault
@@ -294,7 +223,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			})
 		},
 	}, runs, defaultShardGrain, func(_ context.Context, sh engine.Shard) (shardTally, error) {
-		return runShard(cfg, sh, sampler, lambda, &events)
+		return runShard(cfg, sh, pl, lambda, &events)
 	})
 	runSpan.End()
 	if err != nil {
@@ -349,9 +278,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 // owned by the runner and reused across all of the shard's runs, so the
 // steady-state run loop performs no heap allocations (DESIGN.md §11).
 type shardRunner struct {
-	cfg     Config
-	sampler *interactionSampler
-	lambda  float64
+	cfg    Config
+	plan   *plan.CampaignPlan
+	lambda float64
 	// expNegLambda caches exp(-lambda) for the Knuth Poisson draw, which
 	// otherwise recomputes it on every run.
 	expNegLambda float64
@@ -364,7 +293,7 @@ type shardRunner struct {
 	persistent   []faultinject.Timed
 }
 
-func newShardRunner(cfg Config, sh engine.Shard, sampler *interactionSampler, lambda float64, events *atomic.Int64) (*shardRunner, error) {
+func newShardRunner(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda float64, events *atomic.Int64) (*shardRunner, error) {
 	w, err := workload.New(cfg.WorkloadName)
 	if err != nil {
 		return nil, err
@@ -375,7 +304,7 @@ func newShardRunner(cfg Config, sh engine.Shard, sampler *interactionSampler, la
 	}
 	return &shardRunner{
 		cfg:          cfg,
-		sampler:      sampler,
+		plan:         pl,
 		lambda:       lambda,
 		expNegLambda: math.Exp(-lambda),
 		inj:          inj,
@@ -416,7 +345,7 @@ func (r *shardRunner) oneRun() {
 	r.tc.interactions += nInt
 	faults := append(r.faults[:0], r.persistent...)
 	for k := int64(0); k < nInt; k++ {
-		e := r.sampler.sample(s)
+		e := r.plan.SampleInteraction(s)
 		f, upset := r.cfg.Device.InteractionUpset(e, s)
 		if !upset {
 			continue
@@ -455,8 +384,8 @@ func (r *shardRunner) oneRun() {
 	}
 }
 
-func runShard(cfg Config, sh engine.Shard, sampler *interactionSampler, lambda float64, events *atomic.Int64) (shardTally, error) {
-	r, err := newShardRunner(cfg, sh, sampler, lambda, events)
+func runShard(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda float64, events *atomic.Int64) (shardTally, error) {
+	r, err := newShardRunner(cfg, sh, pl, lambda, events)
 	if err != nil {
 		return shardTally{}, err
 	}

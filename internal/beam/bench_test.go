@@ -11,6 +11,7 @@ import (
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/engine"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 )
@@ -20,9 +21,9 @@ import (
 // than an O(1) alias draw.
 const benchCalSamples = 120000
 
-func benchSampler(b *testing.B, sp spectrum.Spectrum, d *device.Device) *interactionSampler {
+func benchSampler(b *testing.B, sp spectrum.Spectrum, d *device.Device) *plan.CampaignPlan {
 	b.Helper()
-	return buildInteractionSampler(d, sp, benchCalSamples, rng.New(1))
+	return plan.Compile(d, sp, benchCalSamples, rng.New(1))
 }
 
 // benchQuietDevice returns a K20 variant whose critical charge sits above
@@ -46,7 +47,7 @@ func BenchmarkInteractionSamplerDraw(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = is.sample(s)
+		_ = is.SampleInteraction(s)
 	}
 }
 
@@ -98,7 +99,7 @@ func BenchmarkInteractionSamplerBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = buildInteractionSampler(d, sp, benchCalSamples, s)
+		_ = plan.Compile(d, sp, benchCalSamples, s)
 	}
 }
 

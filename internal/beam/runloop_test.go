@@ -7,6 +7,7 @@ import (
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/engine"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/telemetry"
@@ -25,9 +26,9 @@ func TestRunLoopZeroAllocs(t *testing.T) {
 		Beam:         spectrum.ChipIR(),
 		Seed:         7,
 	}.withDefaults()
-	sampler := buildInteractionSampler(cfg.Device, cfg.Beam, 20000, rng.New(1))
+	pl := plan.Compile(cfg.Device, cfg.Beam, 20000, rng.New(1))
 	var events atomic.Int64
-	r, err := newShardRunner(cfg, engine.Shard{Index: 0, Count: 1, Stream: rng.New(3)}, sampler, 2, &events)
+	r, err := newShardRunner(cfg, engine.Shard{Index: 0, Count: 1, Stream: rng.New(3)}, pl, 2, &events)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -122,12 +122,17 @@ func assess(ctx context.Context, d *device.Device, workloads []string, b Budget,
 		Workloads:   append([]string(nil), workloads...),
 		PerWorkload: map[string]beam.Pair{},
 	}
+	// One compiled spectrum per beamline for the whole assessment; the
+	// per-workload campaigns share them instead of rebuilding the energy
+	// tables inside the loop.
+	chip := spectrum.ChipIR()
+	rotax := spectrum.ROTAX()
 	var fastResults, thermalResults []*beam.Result
 	for i, wl := range workloads {
 		fast, err := beam.RunContext(ctx, beam.Config{
 			Device:          &dut,
 			WorkloadName:    wl,
-			Beam:            spectrum.ChipIR(),
+			Beam:            chip,
 			DurationSeconds: b.FastSeconds,
 			Seed:            seed + uint64(i)*2,
 			Shards:          b.Shards,
@@ -138,7 +143,7 @@ func assess(ctx context.Context, d *device.Device, workloads []string, b Budget,
 		thermal, err := beam.RunContext(ctx, beam.Config{
 			Device:          &dut,
 			WorkloadName:    wl,
-			Beam:            spectrum.ROTAX(),
+			Beam:            rotax,
 			DurationSeconds: b.ThermalSeconds,
 			Seed:            seed + uint64(i)*2 + 1,
 			Shards:          b.Shards,

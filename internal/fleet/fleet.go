@@ -149,6 +149,20 @@ func SimulateContext(ctx context.Context, cfg Config) (*Log, error) {
 			dueWet: float64(wet.DUE.Total()) / 1e9,
 		}
 	}
+	// One emit helper for the whole simulation; the previous per-class
+	// per-hour closure allocation was the inner loop's only heap traffic
+	// besides the log itself.
+	emit := func(n int64, cl *NodeClass, h int, typ EventType, rainy bool) {
+		for k := int64(0); k < n; k++ {
+			log.Entries = append(log.Entries, Entry{
+				Hour:  h,
+				Class: cl.Name,
+				Node:  s.Intn(cl.Count),
+				Type:  typ,
+				Rainy: rainy,
+			})
+		}
+	}
 	for day := 0; day < cfg.Days; day++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -166,26 +180,16 @@ func SimulateContext(ctx context.Context, cfg Config) (*Log, error) {
 		})
 		for hour := 0; hour < 24; hour++ {
 			h := day*24 + hour
-			for i, cl := range cfg.Classes {
+			for i := range cfg.Classes {
+				cl := &cfg.Classes[i]
 				log.NodeHours[cl.Name] += float64(cl.Count)
 				r := rates[i]
 				sdcRate, dueRate := r.sdcDry, r.dueDry
 				if rainy {
 					sdcRate, dueRate = r.sdcWet, r.dueWet
 				}
-				emit := func(n int64, typ EventType) {
-					for k := int64(0); k < n; k++ {
-						log.Entries = append(log.Entries, Entry{
-							Hour:  h,
-							Class: cl.Name,
-							Node:  s.Intn(cl.Count),
-							Type:  typ,
-							Rainy: rainy,
-						})
-					}
-				}
-				emit(s.Poisson(sdcRate*float64(cl.Count)), EventSDC)
-				emit(s.Poisson(dueRate*float64(cl.Count)), EventDUE)
+				emit(s.Poisson(sdcRate*float64(cl.Count)), cl, h, EventSDC, rainy)
+				emit(s.Poisson(dueRate*float64(cl.Count)), cl, h, EventDUE, rainy)
 			}
 		}
 	}

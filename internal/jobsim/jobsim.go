@@ -185,14 +185,25 @@ func WeatherWeek(sunnyMTBF, rainyMTBF, checkpointSeconds float64, rainy []bool, 
 	}
 	const day = 86400.0
 	var adaptiveUseful, staticUseful float64
+	// The adaptive policy only ever uses two intervals — the sunny one
+	// (identical to staticTau) and the rainy one — so compute each once
+	// instead of re-deriving the Daly optimum every day. The rainy interval
+	// is computed lazily on the first rainy day, preserving the old
+	// behavior for weather sequences that never exercise it.
+	rainyTau, rainyTauSet := 0.0, false
 	for _, isRainy := range rainy {
 		mtbf := sunnyMTBF
+		adaptTau := staticTau
 		if isRainy {
 			mtbf = rainyMTBF
-		}
-		adaptTau, err := checkpoint.DalyInterval(checkpointSeconds, mtbf)
-		if err != nil {
-			return 0, 0, err
+			if !rainyTauSet {
+				rainyTau, err = checkpoint.DalyInterval(checkpointSeconds, rainyMTBF)
+				if err != nil {
+					return 0, 0, err
+				}
+				rainyTauSet = true
+			}
+			adaptTau = rainyTau
 		}
 		ra, err := Simulate(Params{
 			MTBFSeconds: mtbf, IntervalSeconds: adaptTau,

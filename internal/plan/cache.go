@@ -1,0 +1,225 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/spectrum"
+	"neutronsim/internal/telemetry"
+)
+
+// DefaultCapacity bounds the Shared cache. A plan for the default 20k
+// calibration budget is ~640 KiB of slots, so the default keeps the cache
+// within a few tens of MiB; neutrond exposes -plan-cache-entries to tune
+// it (SetCapacity).
+const DefaultCapacity = 64
+
+// Cache memoizes compiled campaign plans under their canonical keys with
+// LRU eviction and singleflight coalescing: concurrent requests for the
+// same key compile once and share the result. Entries never expire —
+// a plan is a pure function of its key, so it can only become wrong if
+// the physics changes, which is a new binary, not a new request.
+type Cache struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evicts    *telemetry.Counter
+	coalesced *telemetry.Counter
+	bypass    *telemetry.Counter
+	compile   *telemetry.Histogram
+	entries   *telemetry.Gauge
+
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *cacheEntry
+	index    map[string]*list.Element
+	inflight map[string]*flight
+}
+
+// cacheEntry is one memoized plan.
+type cacheEntry struct {
+	key  string
+	plan *CampaignPlan
+}
+
+// flight is one in-progress compilation; waiters block on done and then
+// read plan (or re-panic with panicked).
+type flight struct {
+	done     chan struct{}
+	plan     *CampaignPlan
+	panicked any
+}
+
+// Shared is the process-wide plan cache. beam.RunContext compiles through
+// it, so every consumer of the beam package — cmd binaries, core.Assess,
+// the neutrond worker pool — shares one set of compiled plans and its
+// telemetry lands in the Default registry.
+var Shared = NewCache(DefaultCapacity, telemetry.Default)
+
+// NewCache builds a plan cache bounded to capacity entries (non-positive
+// falls back to DefaultCapacity), posting its counters into reg.
+func NewCache(capacity int, reg *telemetry.Registry) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	return &Cache{
+		hits:      reg.Counter("plan.cache_hit"),
+		misses:    reg.Counter("plan.cache_miss"),
+		evicts:    reg.Counter("plan.cache_evict"),
+		coalesced: reg.Counter("plan.cache_coalesced"),
+		bypass:    reg.Counter("plan.cache_bypass"),
+		compile:   reg.Histogram("plan.compile_seconds"),
+		entries:   reg.Gauge("plan.cache_entries"),
+		capacity:  capacity,
+		ll:        list.New(),
+		index:     map[string]*list.Element{},
+		inflight:  map[string]*flight{},
+	}
+}
+
+// For returns the compiled plan for a campaign, reusing a cached one when
+// the key matches. The first request for a key compiles (counted as a
+// miss); concurrent requests for the same key wait for that compilation
+// instead of repeating it (counted as coalesced); later requests are hits.
+// Spectra without a Fingerprint cannot be keyed and are compiled directly
+// on every call (counted as bypass). The returned plan is immutable and
+// shared — callers must treat it as read-only, which the CampaignPlan API
+// enforces by construction.
+func (c *Cache) For(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64) *CampaignPlan {
+	key, ok := KeyFor(d, sp, calSamples, seed)
+	if !ok {
+		c.bypass.Add(1)
+		return c.timedCompile(d, sp, calSamples, seed, "")
+	}
+	c.mu.Lock()
+	if el, hit := c.index[key]; hit {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).plan
+	}
+	if fl, flying := c.inflight[key]; flying {
+		c.mu.Unlock()
+		c.coalesced.Add(1)
+		<-fl.done
+		if fl.panicked != nil {
+			panic(fl.panicked)
+		}
+		return fl.plan
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return c.compileFlight(fl, d, sp, calSamples, seed, key)
+}
+
+// compileFlight compiles for the flight's waiters and settles the cache
+// entry. The deferred settlement runs even if Compile panics, so waiters
+// never block forever and the panic propagates to every caller.
+func (c *Cache) compileFlight(fl *flight, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, key string) *CampaignPlan {
+	defer func() {
+		if r := recover(); r != nil {
+			fl.panicked = r
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fl.done)
+			panic(r)
+		}
+	}()
+	pl := c.timedCompile(d, sp, calSamples, seed, key)
+	fl.plan = pl
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.index[key] = c.ll.PushFront(&cacheEntry{key: key, plan: pl})
+	c.evictLocked()
+	c.entries.Set(float64(c.ll.Len()))
+	c.mu.Unlock()
+	close(fl.done)
+	return pl
+}
+
+// timedCompile runs Compile with the canonical calibration substream for
+// the seed, recording the duration.
+func (c *Cache) timedCompile(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, key string) *CampaignPlan {
+	start := time.Now()
+	pl := Compile(d, sp, calSamples, CalibrationStream(seed))
+	pl.key = key
+	c.compile.Observe(time.Since(start).Seconds())
+	return pl
+}
+
+// evictLocked drops least-recently-used entries beyond capacity.
+func (c *Cache) evictLocked() {
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			return
+		}
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*cacheEntry).key)
+		c.evicts.Add(1)
+	}
+}
+
+// SetCapacity rebounds the cache, evicting LRU entries if it shrank.
+// Non-positive capacities fall back to DefaultCapacity.
+func (c *Cache) SetCapacity(n int) {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	c.mu.Lock()
+	c.capacity = n
+	c.evictLocked()
+	c.entries.Set(float64(c.ll.Len()))
+	c.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the cache counters, served by
+// neutrond's GET /v1/stats.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Coalesced int64 `json:"coalesced"`
+	Bypass    int64 `json:"bypass"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// HitRatio returns hits / (hits + misses), or 0 before any keyed lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats reads the current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, capacity := c.ll.Len(), c.capacity
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evicts.Value(),
+		Coalesced: c.coalesced.Value(),
+		Bypass:    c.bypass.Value(),
+		Entries:   entries,
+		Capacity:  capacity,
+	}
+}
+
+// Len reports the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

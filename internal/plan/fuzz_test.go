@@ -1,4 +1,4 @@
-package beam
+package plan
 
 import (
 	"math"
@@ -11,20 +11,20 @@ import (
 	"neutronsim/internal/units"
 )
 
-// checkSampler validates the invariants of a built interaction sampler:
-// every alias slot carries a finite acceptance probability in [0, 1], the
-// mean probability is a finite non-negative number, and every drawn energy
-// is a member of the calibration table.
-func checkSampler(t *testing.T, is *interactionSampler, n int, s *rng.Stream) {
+// checkPlan validates the invariants of a compiled plan: every alias slot
+// carries a finite acceptance probability in [0, 1], the mean probability
+// is a finite non-negative number, and every drawn energy is a member of
+// the calibration table.
+func checkPlan(t *testing.T, p *CampaignPlan, n int, s *rng.Stream) {
 	t.Helper()
-	if len(is.slots) != n {
-		t.Fatalf("table size %d, want %d", len(is.slots), n)
+	if p.Len() != n {
+		t.Fatalf("table size %d, want %d", p.Len(), n)
 	}
 	members := make(map[units.Energy]bool, n)
-	for _, sl := range is.slots {
+	for _, sl := range p.slots {
 		members[sl.self] = true
 	}
-	for i, sl := range is.slots {
+	for i, sl := range p.slots {
 		if math.IsNaN(sl.prob) || sl.prob < 0 || sl.prob > 1 {
 			t.Fatalf("slots[%d].prob = %v", i, sl.prob)
 		}
@@ -32,19 +32,19 @@ func checkSampler(t *testing.T, is *interactionSampler, n int, s *rng.Stream) {
 			t.Fatalf("slots[%d].alias energy %v not in the calibration table", i, sl.alias)
 		}
 	}
-	if math.IsNaN(is.meanP) || math.IsInf(is.meanP, 0) || is.meanP < 0 {
-		t.Fatalf("meanP = %v", is.meanP)
+	if math.IsNaN(p.meanP) || math.IsInf(p.meanP, 0) || p.meanP < 0 {
+		t.Fatalf("meanP = %v", p.meanP)
 	}
 	for i := 0; i < 64; i++ {
-		if e := is.sample(s); !members[e] {
+		if e := p.SampleInteraction(s); !members[e] {
 			t.Fatalf("sample returned %v, not in the calibration table", e)
 		}
 	}
 }
 
-// FuzzInteractionSampler drives buildInteractionSampler and its alias draw
-// with fuzzed device parameters and table sizes, on both beam spectra.
-func FuzzInteractionSampler(f *testing.F) {
+// FuzzCompile drives Compile and its alias draw with fuzzed device
+// parameters and table sizes, on both beam spectra.
+func FuzzCompile(f *testing.F) {
 	f.Add(uint64(1), 4.6e13, 0.02, 1.0, uint16(200))
 	f.Add(uint64(2), 0.0, 1e-9, 0.5, uint16(1))
 	f.Add(uint64(3), 1e16, 1.0, 16.0, uint16(37))
@@ -72,47 +72,46 @@ func FuzzInteractionSampler(f *testing.F) {
 		d.QcritSigmaFC = qcrit / 4
 		for _, sp := range []spectrum.Spectrum{spectrum.ChipIR(), spectrum.ROTAX()} {
 			s := rng.New(seed)
-			is := buildInteractionSampler(d, sp, n, s.Split())
-			checkSampler(t, is, n, s)
+			p := Compile(d, sp, n, s.Split())
+			checkPlan(t, p, n, s)
 		}
 	})
 }
 
-// TestSamplerZeroProbabilityFallback pins the degenerate-table branch: when
-// every interaction probability is zero the sampler falls back to uniform
-// selection over the calibration energies instead of dividing by zero. A
-// boron-free device on the thermal beamline has p(E) = 0 for every thermal
-// and epithermal calibration energy.
-func TestSamplerZeroProbabilityFallback(t *testing.T) {
+// TestZeroProbabilityFallback pins the degenerate-table branch: when every
+// interaction probability is zero the plan falls back to uniform selection
+// over the calibration energies instead of dividing by zero. A boron-free
+// device on the thermal beamline has p(E) = 0 for every thermal and
+// epithermal calibration energy.
+func TestZeroProbabilityFallback(t *testing.T) {
 	d := device.K20()
 	d.Boron10PerCm2 = 0
 	const n = 64
-	is := buildInteractionSampler(d, spectrum.ROTAX(), n, rng.New(5))
-	if is.meanP != 0 {
-		t.Fatalf("meanP = %v, want 0 for a boron-free thermal campaign", is.meanP)
+	p := Compile(d, spectrum.ROTAX(), n, rng.New(5))
+	if p.MeanP() != 0 {
+		t.Fatalf("meanP = %v, want 0 for a boron-free thermal campaign", p.MeanP())
 	}
 	s := rng.New(9)
 	seen := map[units.Energy]int{}
 	for i := 0; i < 50*n; i++ {
-		seen[is.sample(s)]++
+		seen[p.SampleInteraction(s)]++
 	}
 	if len(seen) < n/2 {
 		t.Errorf("uniform fallback drew only %d of %d calibration energies", len(seen), n)
 	}
-	for _, sl := range is.slots {
+	for _, sl := range p.slots {
 		if sl.prob != 1 || sl.self != sl.alias {
 			t.Fatalf("degenerate slot %+v should always keep its own energy", sl)
 		}
 	}
 }
 
-// TestSamplerDrawBoundary pins the u → n edge of the alias draw: the slot
-// index is derived from Float64()*n, which can round up to exactly n for
-// large tables and must clamp to the last slot rather than index out of
-// range.
-func TestSamplerDrawBoundary(t *testing.T) {
-	is := &interactionSampler{
-		slots: []samplerSlot{
+// TestSampleBoundary pins the u → n edge of the alias draw: the slot index
+// is derived from Float64()*n, which can round up to exactly n for large
+// tables and must clamp to the last slot rather than index out of range.
+func TestSampleBoundary(t *testing.T) {
+	p := &CampaignPlan{
+		slots: []slot{
 			{prob: 0.25, self: 1, alias: 2},
 			{prob: 1, self: 2, alias: 2},
 			{prob: 0, self: 3, alias: 1}, // zero-weight trailing slot
@@ -121,19 +120,19 @@ func TestSamplerDrawBoundary(t *testing.T) {
 	}
 	s := rng.New(11)
 	for i := 0; i < 1000; i++ {
-		e := is.sample(s)
+		e := p.SampleInteraction(s)
 		if e != 1 && e != 2 {
 			t.Fatalf("sample returned %v", e)
 		}
 	}
 }
 
-// TestSamplerZeroPrefixPrecision is the satellite regression for the
-// prefix-precision failure mode: one million calibration entries whose
-// first 90% carry zero weight. With naive accumulation the tiny tail
-// weights drown in rounding; the Kahan-summed alias table must draw only
-// tail energies and report an exact meanP.
-func TestSamplerZeroPrefixPrecision(t *testing.T) {
+// TestZeroPrefixPrecision is the regression for the prefix-precision
+// failure mode: one million calibration entries whose first 90% carry zero
+// weight. With naive accumulation the tiny tail weights drown in rounding;
+// the Kahan-summed alias table must draw only tail energies and report an
+// exact meanP.
+func TestZeroPrefixPrecision(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1e6-entry table build")
 	}
@@ -150,15 +149,15 @@ func TestSamplerZeroPrefixPrecision(t *testing.T) {
 	d.SensitiveFraction = 1
 	d.SensitiveDepthUm = tailP / (4.996e22 * 1e-4 * 1.5 * 1e-24)
 	sp := &prefixSpectrum{prefix: prefix}
-	is := buildInteractionSampler(d, sp, n, rng.New(13))
+	p := Compile(d, sp, n, rng.New(13))
 
 	wantMean := tailP * float64(n-prefix) / float64(n)
-	if rel := math.Abs(is.meanP-wantMean) / wantMean; rel > 1e-9 {
-		t.Errorf("meanP = %v, want %v (rel err %v)", is.meanP, wantMean, rel)
+	if rel := math.Abs(p.MeanP()-wantMean) / wantMean; rel > 1e-9 {
+		t.Errorf("meanP = %v, want %v (rel err %v)", p.MeanP(), wantMean, rel)
 	}
 	s := rng.New(17)
 	for i := 0; i < 100000; i++ {
-		if e := is.sample(s); !e.IsFast() {
+		if e := p.SampleInteraction(s); !e.IsFast() {
 			t.Fatalf("draw %d returned zero-probability prefix energy %v", i, e)
 		}
 	}
@@ -166,7 +165,8 @@ func TestSamplerZeroPrefixPrecision(t *testing.T) {
 
 // prefixSpectrum emits `prefix` thermal energies followed by fast energies,
 // giving the calibration table a long zero-probability prefix on a
-// boron-free device.
+// boron-free device. It deliberately has no Fingerprint, which also makes
+// it the cache-bypass test subject.
 type prefixSpectrum struct {
 	calls  int
 	prefix int

@@ -109,6 +109,37 @@ func (c *Cache) Put(key string, body []byte) string {
 	return etag
 }
 
+// CacheStats is a point-in-time snapshot of the result cache, served by
+// GET /v1/stats.
+type CacheStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+	Entries  int     `json:"entries"`
+	Bytes    int64   `json:"bytes"`
+	MaxBytes int64   `json:"max_bytes"`
+	Capacity int     `json:"capacity"`
+}
+
+// Stats reads the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	st := CacheStats{
+		Hits:     c.hits.Value(),
+		Misses:   c.misses.Value(),
+		Entries:  entries,
+		Bytes:    bytes,
+		MaxBytes: c.maxBytes,
+		Capacity: c.maxEntries,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRatio = float64(st.Hits) / float64(total)
+	}
+	return st
+}
+
 // Len reports the number of cached entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()

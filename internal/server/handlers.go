@@ -9,6 +9,7 @@ import (
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/physics"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/workload"
 )
@@ -21,6 +22,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("GET /v1/spectra", s.handleSpectra)
 	s.mux.HandleFunc("GET /v1/materials", s.handleMaterials)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 }
@@ -185,6 +187,53 @@ func (s *Server) handleSpectra(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMaterials(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"materials": MaterialNames()})
+}
+
+// JobStats summarizes the job pipeline for GET /v1/stats.
+type JobStats struct {
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Canceled   int64 `json:"canceled"`
+	Running    int   `json:"running"`
+	QueueDepth int   `json:"queue_depth"`
+}
+
+// StatsResponse is the GET /v1/stats body: the job pipeline, the result
+// cache, and the process-wide compiled-plan cache shared by the worker
+// pool.
+type StatsResponse struct {
+	Jobs        JobStats   `json:"jobs"`
+	ResultCache CacheStats `json:"result_cache"`
+	PlanCache   PlanStats  `json:"plan_cache"`
+}
+
+// PlanStats mirrors plan.Cache stats plus the derived hit ratio, so the
+// JSON surface is self-contained.
+type PlanStats struct {
+	plan.Stats
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// handleStats is GET /v1/stats: operational counters for the job queue,
+// the result cache, and the compiled-plan cache. Plan-cache numbers come
+// from plan.Shared because beam compiles through it; they therefore cover
+// every campaign this process ran, not only neutrond jobs.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	reg := s.cfg.Registry
+	ps := plan.Shared.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Jobs: JobStats{
+			Submitted:  reg.Counter("server.jobs_submitted").Value(),
+			Completed:  reg.Counter("server.jobs_completed").Value(),
+			Failed:     reg.Counter("server.jobs_failed").Value(),
+			Canceled:   reg.Counter("server.jobs_canceled").Value(),
+			Running:    int(s.jobsRunning.Value()),
+			QueueDepth: int(s.queueDepth.Value()),
+		},
+		ResultCache: s.cache.Stats(),
+		PlanCache:   PlanStats{Stats: ps, HitRatio: ps.HitRatio()},
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

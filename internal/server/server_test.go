@@ -422,3 +422,59 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+func TestStatsEndpoint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := New(Config{Workers: 1, Registry: reg})
+	defer srv.Drain()
+	srv.execute = func(_ context.Context, req *CampaignRequest, _ int) (*ResultEnvelope, error) {
+		return &ResultEnvelope{Kind: req.Kind}, nil
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postCampaign(t, ts, testRequest(1), nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var info JobInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	awaitJob(t, ts, info.ID, 10*time.Second)
+	// Replay the identical request so the result cache answers it.
+	resp, body = postCampaign(t, ts, testRequest(1), nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("replay: status %d, X-Cache %q: %s", resp.StatusCode, resp.Header.Get("X-Cache"), body)
+	}
+
+	hresp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: status %d", hresp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs.Submitted != 1 || st.Jobs.Completed != 1 {
+		t.Errorf("jobs = %+v, want 1 submitted / 1 completed", st.Jobs)
+	}
+	if st.ResultCache.Hits != 1 || st.ResultCache.Entries != 1 {
+		t.Errorf("result cache = %+v, want 1 hit / 1 entry", st.ResultCache)
+	}
+	if st.ResultCache.HitRatio <= 0 || st.ResultCache.HitRatio > 1 {
+		t.Errorf("result cache hit ratio = %v, want in (0,1]", st.ResultCache.HitRatio)
+	}
+	// The plan cache is the process-wide plan.Shared, so other tests may
+	// have populated it; only its invariants are checkable here.
+	if st.PlanCache.Capacity <= 0 {
+		t.Errorf("plan cache capacity = %d, want > 0", st.PlanCache.Capacity)
+	}
+	if st.PlanCache.Entries < 0 || st.PlanCache.Entries > st.PlanCache.Capacity {
+		t.Errorf("plan cache entries = %d, want within [0, %d]", st.PlanCache.Entries, st.PlanCache.Capacity)
+	}
+}

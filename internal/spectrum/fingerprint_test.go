@@ -1,0 +1,97 @@
+package spectrum
+
+import (
+	"testing"
+
+	"neutronsim/internal/physics"
+	"neutronsim/internal/rng"
+	"neutronsim/internal/units"
+)
+
+// TestCatalogSingletons pins the process-wide sharing contract: every call
+// to a catalog constructor returns the same immutable instance, and the
+// singleton is indistinguishable — fingerprint and drawn energies — from a
+// freshly built mixture, because energy tables are derived from a fixed
+// private seed rather than any caller state.
+func TestCatalogSingletons(t *testing.T) {
+	if ChipIR() != ChipIR() || ROTAX() != ROTAX() {
+		t.Fatal("catalog constructors must return the shared instance")
+	}
+	for _, tc := range []struct {
+		name      string
+		singleton *Mixture
+		fresh     *Mixture
+	}{
+		{"ChipIR", ChipIR(), newChipIR()},
+		{"ROTAX", ROTAX(), newROTAX()},
+	} {
+		if tc.singleton.Fingerprint() != tc.fresh.Fingerprint() {
+			t.Errorf("%s: singleton fingerprint differs from a fresh build", tc.name)
+		}
+		a, b := rng.New(3), rng.New(3)
+		for i := 0; i < 1000; i++ {
+			if tc.singleton.Sample(a) != tc.fresh.Sample(b) {
+				t.Fatalf("%s: singleton and fresh build diverged at draw %d", tc.name, i)
+			}
+		}
+	}
+}
+
+// TestMixtureFingerprint checks the fingerprint is stable across calls,
+// excludes the display name, and moves when any sampling-relevant
+// component attribute moves.
+func TestMixtureFingerprint(t *testing.T) {
+	comps := func(flux units.Flux) []Component {
+		return []Component{{
+			Label:  "thermal",
+			Band:   physics.BandThermal,
+			Flux:   flux,
+			Sample: MaxwellSampler(0.0253),
+		}}
+	}
+	build := func(name string, flux units.Flux) *Mixture {
+		m, err := NewMixture(name, comps(flux))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := build("a", 1e6)
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+	if got := build("renamed", 1e6).Fingerprint(); got != a.Fingerprint() {
+		t.Error("display name leaked into the fingerprint")
+	}
+	if got := build("a", 2e6).Fingerprint(); got == a.Fingerprint() {
+		t.Error("component flux change did not move the fingerprint")
+	}
+	if ChipIR().Fingerprint() == ROTAX().Fingerprint() {
+		t.Error("distinct catalog spectra share a fingerprint")
+	}
+}
+
+// TestMonoFingerprint covers the monoenergetic spectrum: stable, name-free,
+// and sensitive to energy and flux.
+func TestMonoFingerprint(t *testing.T) {
+	mono := func(name string, e units.Energy, f units.Flux) *Mono {
+		m, err := NewMono(name, e, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := mono("a", 1*units.MeV, 100)
+	if a.Fingerprint() != mono("b", 1*units.MeV, 100).Fingerprint() {
+		t.Error("display name leaked into the Mono fingerprint")
+	}
+	if a.Fingerprint() == mono("a", 2*units.MeV, 100).Fingerprint() {
+		t.Error("energy change did not move the Mono fingerprint")
+	}
+	if a.Fingerprint() == mono("a", 1*units.MeV, 200).Fingerprint() {
+		t.Error("flux change did not move the Mono fingerprint")
+	}
+	if a.Fingerprint() == ChipIR().Fingerprint() {
+		t.Error("Mono fingerprint collided with a Mixture fingerprint")
+	}
+}

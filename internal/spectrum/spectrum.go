@@ -9,9 +9,13 @@
 package spectrum
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"math"
 	"sort"
+	"sync"
 
 	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
@@ -53,6 +57,9 @@ type Mixture struct {
 	total  units.Flux
 	pick   *rng.AliasTable
 	tables []energyTable
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // NewMixture builds a mixture spectrum. Components must have positive flux
@@ -118,6 +125,39 @@ func (m *Mixture) Sample(s *rng.Stream) units.Energy {
 // Components returns a copy of the component list.
 func (m *Mixture) Components() []Component {
 	return append([]Component(nil), m.comps...)
+}
+
+// Fingerprint returns a stable content hash of the mixture's sampling
+// identity: per-component label, band, flux and the built energy-table
+// knots. Two mixtures with equal fingerprints draw identical energy
+// sequences from identical streams, which is what lets campaign plans
+// compiled against one be reused for the other (internal/plan). The
+// display name is deliberately excluded — identity is sampling behavior,
+// not labeling. The hash is computed once and cached; Mixtures are
+// immutable after NewMixture, so it can never go stale.
+func (m *Mixture) Fingerprint() string {
+	m.fpOnce.Do(func() {
+		h := sha256.New()
+		h.Write([]byte("spectrum.Mixture/v1\x00"))
+		var buf [8]byte
+		writeU64 := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		writeF64 := func(v float64) { writeU64(math.Float64bits(v)) }
+		writeU64(uint64(len(m.comps)))
+		for i, c := range m.comps {
+			h.Write([]byte(c.Label))
+			h.Write([]byte{0})
+			writeU64(uint64(c.Band))
+			writeF64(float64(c.Flux))
+			for _, k := range m.tables[i].knots {
+				writeF64(k)
+			}
+		}
+		m.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return m.fp
 }
 
 // Energy tables -------------------------------------------------------------
@@ -271,10 +311,29 @@ const (
 	ROTAXTotalFlux           units.Flux = 2.72e6
 )
 
-// ChipIR builds the high-energy beamline spectrum: an atmospheric-like
+// The catalog beamlines are process-wide singletons: a Mixture is
+// immutable after NewMixture and its energy tables are a pure function of
+// (component sampler, band, index) on a fixed private seed, so the
+// memoized instance is bit-for-bit identical to a freshly built one.
+// Before memoization every one of the ~66 ChipIR()/ROTAX() call sites
+// re-ran the 8192-sample table construction per component.
+var (
+	chipIR = sync.OnceValue(newChipIR)
+	rotax  = sync.OnceValue(newROTAX)
+)
+
+// ChipIR returns the high-energy beamline spectrum: an atmospheric-like
 // fast region (two lethargy bumps near 2 MeV and 80 MeV), a 1/E epithermal
-// region, and the residual thermal component quoted by the paper.
-func ChipIR() *Mixture {
+// region, and the residual thermal component quoted by the paper. The
+// returned Mixture is a shared immutable singleton.
+func ChipIR() *Mixture { return chipIR() }
+
+// ROTAX returns the thermal beamline: a liquid-methane-moderated
+// Maxwellian carrying ~95% of the flux plus a small epithermal tail. The
+// returned Mixture is a shared immutable singleton.
+func ROTAX() *Mixture { return rotax() }
+
+func newChipIR() *Mixture {
 	m, err := NewMixture("ChipIR", []Component{
 		{
 			Label:  "thermal",
@@ -307,9 +366,7 @@ func ChipIR() *Mixture {
 	return m
 }
 
-// ROTAX builds the thermal beamline: a liquid-methane-moderated Maxwellian
-// carrying ~95% of the flux plus a small epithermal tail.
-func ROTAX() *Mixture {
+func newROTAX() *Mixture {
 	const thermalShare = 0.95
 	// Liquid methane at ~110 K moderates below room temperature; the
 	// effective Maxwellian temperature of the emerging beam is ~130 K.
@@ -424,6 +481,18 @@ func (m *Mono) FluxInBand(b physics.EnergyBand) units.Flux {
 		return m.flux
 	}
 	return 0
+}
+
+// Fingerprint returns a stable content hash of the beam's sampling
+// identity (energy and flux; the name is excluded, as for Mixture).
+func (m *Mono) Fingerprint() string {
+	h := sha256.New()
+	h.Write([]byte("spectrum.Mono/v1\x00"))
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(float64(m.energy)))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(float64(m.flux)))
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Analysis --------------------------------------------------------------------
