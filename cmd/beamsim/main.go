@@ -24,7 +24,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "beamsim:", err)
+		telemetry.Log().Error("beamsim: fatal", "error", err)
 		os.Exit(1)
 	}
 }

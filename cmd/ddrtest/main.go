@@ -21,7 +21,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ddrtest:", err)
+		telemetry.Log().Error("ddrtest: fatal", "error", err)
 		os.Exit(1)
 	}
 }

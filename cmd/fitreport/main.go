@@ -26,7 +26,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "fitreport:", err)
+		telemetry.Log().Error("fitreport: fatal", "error", err)
 		os.Exit(1)
 	}
 }

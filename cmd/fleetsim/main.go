@@ -25,7 +25,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		telemetry.Log().Error("fleetsim: fatal", "error", err)
 		os.Exit(1)
 	}
 }

@@ -17,7 +17,6 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,7 +29,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "neutrond:", err)
+		telemetry.Log().Error("neutrond: fatal", "error", err)
 		os.Exit(1)
 	}
 }
@@ -72,12 +71,13 @@ func run(args []string) error {
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "neutrond: listening on http://%s\n", srv.Addr())
+	log := telemetry.Log()
+	log.Info("listening", "url", "http://"+srv.Addr())
 	<-ctx.Done()
-	fmt.Fprintln(os.Stderr, "neutrond: draining")
+	log.Info("draining")
 	if err := srv.Drain(); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "neutrond: drained cleanly")
+	log.Info("drained cleanly")
 	return obs.Close()
 }

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		telemetry.Log().Error("paperfigs: fatal", "error", err)
 		os.Exit(1)
 	}
 }

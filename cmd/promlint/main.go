@@ -1,0 +1,37 @@
+// Command promlint validates a Prometheus text exposition document
+// (format 0.0.4) against the strict rules in internal/telemetry/promcheck.
+// CI pipes a live /metrics scrape through it so an exposition regression
+// fails the build.
+//
+// Usage:
+//
+//	promlint [FILE]       # validates FILE, or stdin when omitted
+//	curl -s host/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"neutronsim/internal/telemetry/promcheck"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	if err := promcheck.Validate(in); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: OK")
+}

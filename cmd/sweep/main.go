@@ -29,7 +29,7 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		telemetry.Log().Error("sweep: fatal", "error", err)
 		os.Exit(1)
 	}
 }
@@ -83,7 +83,7 @@ func run(args []string) error {
 	if workersSet {
 		// Exactly one warning, on stderr, so scripted pipelines reading
 		// stdout stay clean.
-		fmt.Fprintln(os.Stderr, "sweep: warning: -workers is deprecated, use -shards")
+		telemetry.Log().Warn("-workers is deprecated, use -shards")
 		if shardsSet && *workers != *shards {
 			return fmt.Errorf("conflicting -workers %d and -shards %d; drop the deprecated -workers", *workers, *shards)
 		}

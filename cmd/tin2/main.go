@@ -26,7 +26,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "tin2:", err)
+		telemetry.Log().Error("tin2: fatal", "error", err)
 		os.Exit(1)
 	}
 }

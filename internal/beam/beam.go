@@ -159,8 +159,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// campaign for a (device physics, spectrum, CalSamples, seed) key pays
 	// the calibration, every later one reuses the compiled plan
 	// bit-identically (DESIGN.md §12).
-	_, cal := telemetry.StartSpan(ctx, "beam.calibrate")
-	pl := plan.Shared.For(cfg.Device, cfg.Beam, cfg.CalSamples, cfg.Seed)
+	calCtx, cal := telemetry.StartSpan(ctx, "beam.calibrate")
+	cal.SetStage("compile")
+	pl := plan.Shared.ForContext(calCtx, cfg.Device, cfg.Beam, cfg.CalSamples, cfg.Seed)
 	cal.End()
 	// beam.neutrons_sampled counts the campaign's calibration budget; it is
 	// posted whether the plan was compiled here or served from the cache,
@@ -229,6 +230,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, mergeSpan := telemetry.StartSpan(ctx, "beam.merge")
+	mergeSpan.SetStage("merge")
+	defer mergeSpan.End()
 	var totalInteractions int64
 	for _, tc := range tallies {
 		res.SDC += tc.sdc

@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"time"
 
 	"neutronsim/internal/beam"
 	"neutronsim/internal/device"
@@ -99,10 +98,7 @@ func assess(ctx context.Context, d *device.Device, workloads []string, b Budget,
 	}
 	ctx, span := telemetry.StartSpan(ctx, "core.assess")
 	defer span.End()
-	start := time.Now()
-	defer func() {
-		telemetry.Default.Histogram("core.assess_seconds").Observe(time.Since(start).Seconds())
-	}()
+	defer telemetry.StartTimer(telemetry.Default.Histogram("core.assess_seconds")).ObserveDuration()
 	b = b.withDefaults()
 	if workloads == nil {
 		workloads = workload.ForDeviceKind(d.Kind.String())

@@ -137,6 +137,11 @@ func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn fun
 		name = "map"
 	}
 	ctx, span := telemetry.StartSpan(ctx, "engine."+name)
+	// The engine owns the "run" stage of a traced campaign pipeline: its
+	// wall time is the sharded execution, with per-shard child spans below.
+	span.SetStage("run")
+	span.AnnotateInt("shards", len(shards))
+	span.AnnotateInt("items", total)
 	defer span.End()
 	streamFor := cfg.StreamFor
 	if streamFor == nil {
@@ -159,6 +164,8 @@ func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn fun
 		sh.Stream = streamFor(sh.Index)
 		busy.Add(1)
 		_, shardSpan := telemetry.StartSpan(ctx, "engine.shard")
+		shardSpan.AnnotateInt("shard", sh.Index)
+		shardSpan.AnnotateInt("items", sh.Count)
 		r, err := fn(ctx, sh)
 		shardSpan.End()
 		busy.Add(-1)

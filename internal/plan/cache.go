@@ -2,8 +2,8 @@ package plan
 
 import (
 	"container/list"
+	"context"
 	"sync"
-	"time"
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/spectrum"
@@ -22,6 +22,7 @@ const DefaultCapacity = 64
 // a plan is a pure function of its key, so it can only become wrong if
 // the physics changes, which is a new binary, not a new request.
 type Cache struct {
+	reg       *telemetry.Registry
 	hits      *telemetry.Counter
 	misses    *telemetry.Counter
 	evicts    *telemetry.Counter
@@ -67,6 +68,7 @@ func NewCache(capacity int, reg *telemetry.Registry) *Cache {
 		reg = telemetry.Default
 	}
 	return &Cache{
+		reg:       reg,
 		hits:      reg.Counter("plan.cache_hit"),
 		misses:    reg.Counter("plan.cache_miss"),
 		evicts:    reg.Counter("plan.cache_evict"),
@@ -90,21 +92,35 @@ func NewCache(capacity int, reg *telemetry.Registry) *Cache {
 // shared — callers must treat it as read-only, which the CampaignPlan API
 // enforces by construction.
 func (c *Cache) For(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64) *CampaignPlan {
+	return c.ForContext(context.Background(), d, sp, calSamples, seed)
+}
+
+// ForContext is For with a caller context: the lookup opens a
+// "plan.lookup" telemetry span (annotated with the outcome — hit, miss,
+// coalesced or bypass) and a cache miss nests the "plan.compile" span
+// under it, so traced jobs see exactly where campaign setup time went.
+func (c *Cache) ForContext(ctx context.Context, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64) *CampaignPlan {
+	ctx, span := c.reg.StartSpan(ctx, "plan.lookup")
+	span.SetStage("compile")
+	defer span.End()
 	key, ok := KeyFor(d, sp, calSamples, seed)
 	if !ok {
 		c.bypass.Add(1)
-		return c.timedCompile(d, sp, calSamples, seed, "")
+		span.Annotate("outcome", "bypass")
+		return c.timedCompile(ctx, d, sp, calSamples, seed, "")
 	}
 	c.mu.Lock()
 	if el, hit := c.index[key]; hit {
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		c.hits.Add(1)
+		span.Annotate("outcome", "hit")
 		return el.Value.(*cacheEntry).plan
 	}
 	if fl, flying := c.inflight[key]; flying {
 		c.mu.Unlock()
 		c.coalesced.Add(1)
+		span.Annotate("outcome", "coalesced")
 		<-fl.done
 		if fl.panicked != nil {
 			panic(fl.panicked)
@@ -115,13 +131,14 @@ func (c *Cache) For(d *device.Device, sp spectrum.Spectrum, calSamples int, seed
 	c.inflight[key] = fl
 	c.mu.Unlock()
 	c.misses.Add(1)
-	return c.compileFlight(fl, d, sp, calSamples, seed, key)
+	span.Annotate("outcome", "miss")
+	return c.compileFlight(ctx, fl, d, sp, calSamples, seed, key)
 }
 
 // compileFlight compiles for the flight's waiters and settles the cache
 // entry. The deferred settlement runs even if Compile panics, so waiters
 // never block forever and the panic propagates to every caller.
-func (c *Cache) compileFlight(fl *flight, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, key string) *CampaignPlan {
+func (c *Cache) compileFlight(ctx context.Context, fl *flight, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, key string) *CampaignPlan {
 	defer func() {
 		if r := recover(); r != nil {
 			fl.panicked = r
@@ -132,7 +149,7 @@ func (c *Cache) compileFlight(fl *flight, d *device.Device, sp spectrum.Spectrum
 			panic(r)
 		}
 	}()
-	pl := c.timedCompile(d, sp, calSamples, seed, key)
+	pl := c.timedCompile(ctx, d, sp, calSamples, seed, key)
 	fl.plan = pl
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -145,12 +162,15 @@ func (c *Cache) compileFlight(fl *flight, d *device.Device, sp spectrum.Spectrum
 }
 
 // timedCompile runs Compile with the canonical calibration substream for
-// the seed, recording the duration.
-func (c *Cache) timedCompile(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, key string) *CampaignPlan {
-	start := time.Now()
+// the seed, recording the duration into plan.compile_seconds and a
+// "plan.compile" span.
+func (c *Cache) timedCompile(ctx context.Context, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, key string) *CampaignPlan {
+	_, span := c.reg.StartSpan(ctx, "plan.compile")
+	t := telemetry.StartTimer(c.compile)
 	pl := Compile(d, sp, calSamples, CalibrationStream(seed))
 	pl.key = key
-	c.compile.Observe(time.Since(start).Seconds())
+	t.ObserveDuration()
+	span.End()
 	return pl
 }
 

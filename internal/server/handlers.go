@@ -11,6 +11,8 @@ import (
 	"neutronsim/internal/physics"
 	"neutronsim/internal/plan"
 	"neutronsim/internal/spectrum"
+	"neutronsim/internal/telemetry"
+	"neutronsim/internal/telemetry/trace"
 	"neutronsim/internal/workload"
 )
 
@@ -19,6 +21,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.cfg.Registry))
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("GET /v1/spectra", s.handleSpectra)
 	s.mux.HandleFunc("GET /v1/materials", s.handleMaterials)
@@ -78,7 +82,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(body)
 		return
 	}
-	j, coalesced, err := s.submit(req, key)
+	// A valid incoming traceparent links the job's trace into the caller's;
+	// a malformed or absent one starts a fresh trace (W3C behavior).
+	var parent *trace.Traceparent
+	if tp, perr := trace.ParseTraceparent(r.Header.Get(trace.Header)); perr == nil {
+		parent = &tp
+	}
+	j, coalesced, err := s.submit(req, key, parent)
 	if errors.Is(err, errDraining) {
 		s.unavailable(w)
 		return
@@ -94,7 +104,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if coalesced {
 		w.Header().Set("X-Coalesced", "true")
 	}
+	if tp := j.root.Traceparent(); tp != "" {
+		w.Header().Set(trace.Header, tp)
+	}
+	if !coalesced {
+		telemetry.Log().Info("job accepted",
+			"job_id", j.ID, "kind", j.Req.Kind, "trace_id", j.tr.ID().String())
+	}
 	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+// handleTrace is GET /v1/jobs/{id}/trace: the job's span tree with
+// per-stage durations. Live jobs return a snapshot with in-flight spans
+// marked; the tree is final once the job is terminal.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.TraceSnapshot())
 }
 
 func (s *Server) unavailable(w http.ResponseWriter) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"neutronsim/internal/telemetry"
+	"neutronsim/internal/telemetry/trace"
 )
 
 // Job states.
@@ -34,10 +35,16 @@ type JobInfo struct {
 	State    string           `json:"state"`
 	Kind     string           `json:"kind"`
 	Key      string           `json:"key"`
+	TraceID  string           `json:"trace_id,omitempty"`
 	Error    string           `json:"error,omitempty"`
 	Progress *ProgressInfo    `json:"progress,omitempty"`
 	Result   json.RawMessage  `json:"result,omitempty"`
 	Request  *CampaignRequest `json:"request,omitempty"`
+	// Stages is the per-stage wall-time breakdown derived from the job's
+	// trace (queue wait, plan compile, sharded run, merge). Present as soon
+	// as the first staged span has started; see GET /v1/jobs/{id}/trace for
+	// the full span tree.
+	Stages []trace.StageTiming `json:"stages,omitempty"`
 }
 
 // Job is one submitted campaign moving through the queue.
@@ -45,6 +52,14 @@ type Job struct {
 	ID  string
 	Req *CampaignRequest // normalized
 	Key string
+
+	// tr is the job's trace; root spans the job end to end and qspan covers
+	// the time spent waiting in the queue. The worker parents the campaign's
+	// telemetry spans under root, so /v1/jobs/{id}/trace shows queue wait,
+	// plan compile, every engine shard and the merge as one tree.
+	tr    *trace.Trace
+	root  *trace.Span
+	qspan *trace.Span
 
 	mu       sync.Mutex
 	state    string
@@ -60,16 +75,28 @@ type Job struct {
 	done chan struct{}
 }
 
-func newJob(id string, req *CampaignRequest, key string) *Job {
+func newJob(id string, req *CampaignRequest, key string, parent *trace.Traceparent) *Job {
+	tr, root := trace.New("job", parent)
+	tr.SetRecorder(trace.Default)
+	root.SetAttr("job_id", id)
+	root.SetAttr("kind", req.Kind)
+	q := root.StartChild("queue.wait")
+	q.SetStage("queue")
 	return &Job{
 		ID:    id,
 		Req:   req,
 		Key:   key,
+		tr:    tr,
+		root:  root,
+		qspan: q,
 		state: StateQueued,
 		subs:  map[chan ProgressInfo]struct{}{},
 		done:  make(chan struct{}),
 	}
 }
+
+// TraceSnapshot materializes the job's trace tree (GET /v1/jobs/{id}/trace).
+func (j *Job) TraceSnapshot() *trace.Snapshot { return j.tr.Snapshot() }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -82,11 +109,15 @@ func (j *Job) Info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{
-		ID:    j.ID,
-		State: j.state,
-		Kind:  j.Req.Kind,
-		Key:   j.Key,
-		Error: j.errMsg,
+		ID:      j.ID,
+		State:   j.state,
+		Kind:    j.Req.Kind,
+		Key:     j.Key,
+		TraceID: j.tr.ID().String(),
+		Error:   j.errMsg,
+	}
+	if snap := j.tr.Snapshot(); snap != nil {
+		info.Stages = snap.Stages
 	}
 	if j.hasProg {
 		p := j.progress
@@ -123,6 +154,7 @@ func (j *Job) markRunning(cancel context.CancelFunc) bool {
 	}
 	j.state = StateRunning
 	j.cancel = cancel
+	j.qspan.End()
 	return true
 }
 
@@ -186,8 +218,21 @@ func (j *Job) finish(state string, result []byte, etag string, errMsg string) bo
 	j.etag = etag
 	j.errMsg = errMsg
 	j.cancel = nil
+	j.endTrace(state, errMsg)
 	close(j.done)
 	return true
+}
+
+// endTrace settles the job's spans at a terminal state. Span.End is
+// idempotent, so the canceled-while-queued path (which never ran
+// markRunning) and the normal path converge here safely.
+func (j *Job) endTrace(state, errMsg string) {
+	j.qspan.End()
+	j.root.SetAttr("state", state)
+	if errMsg != "" {
+		j.root.SetAttr("error", errMsg)
+	}
+	j.root.End()
 }
 
 // Cancel requests cancellation: a queued job is finished as canceled on
@@ -200,6 +245,7 @@ func (j *Job) Cancel() bool {
 	case StateQueued:
 		j.state = StateCanceled
 		j.errMsg = context.Canceled.Error()
+		j.endTrace(StateCanceled, j.errMsg)
 		close(j.done)
 		j.mu.Unlock()
 		return true

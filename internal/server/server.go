@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"neutronsim/internal/telemetry"
+	"neutronsim/internal/telemetry/trace"
 )
 
 // Config sizes the service. The zero value gets sensible defaults from
@@ -41,6 +42,10 @@ type Config struct {
 	// MaxJobs bounds retained job records; the oldest terminal jobs are
 	// forgotten beyond it (default 1024).
 	MaxJobs int
+	// SSEHeartbeat is the idle interval between comment frames on the
+	// /v1/jobs/{id}/events stream, keeping proxies from timing out a quiet
+	// connection (default 15s; negative disables).
+	SSEHeartbeat time.Duration
 	// Registry receives the service's telemetry (default telemetry.Default).
 	Registry *telemetry.Registry
 }
@@ -72,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.SSEHeartbeat == 0 {
+		c.SSEHeartbeat = 15 * time.Second
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
@@ -271,8 +279,14 @@ func (s *Server) runJob(j *Job) {
 	defer s.jobsRunning.Add(-1)
 	start := time.Now()
 	ctx = telemetry.ContextWithProgress(ctx, j.observe)
+	// Parent the campaign's telemetry spans under the job's root span so
+	// the whole pipeline — plan lookup, engine shards, merge — lands in the
+	// job's trace tree.
+	ctx = trace.NewContext(ctx, j.root)
+	log := telemetry.LogWith(ctx).With("job_id", j.ID, "kind", j.Req.Kind)
+	log.Info("job started")
 	env, err := s.execute(ctx, j.Req, s.cfg.JobShards)
-	s.cfg.Registry.Histogram("server.job_seconds").Observe(time.Since(start).Seconds())
+	s.cfg.Registry.Histogram("server.job_seconds").ObserveSince(start)
 	switch {
 	case err == nil:
 		body, merr := json.Marshal(env)
@@ -295,6 +309,11 @@ func (s *Server) runJob(j *Job) {
 		s.cfg.Registry.Counter("server.jobs_failed").Add(1)
 	}
 	s.clearInflight(j)
+	if state := j.State(); state == StateDone {
+		log.Info("job finished", "state", state, "seconds", time.Since(start).Seconds())
+	} else {
+		log.Warn("job finished", "state", state, "seconds", time.Since(start).Seconds(), "error", err)
+	}
 }
 
 // errDraining rejects submissions during shutdown.
@@ -305,7 +324,7 @@ var errDraining = errors.New("server is draining")
 // a nil job means the queue is full. The draining check happens under
 // the same lock the enqueue does, so Drain's lock barrier guarantees no
 // job lands in the queue after the final flush.
-func (s *Server) submit(req *CampaignRequest, key string) (j *Job, coalesced bool, err error) {
+func (s *Server) submit(req *CampaignRequest, key string, parent *trace.Traceparent) (j *Job, coalesced bool, err error) {
 	s.mu.Lock()
 	if s.draining.Load() {
 		s.mu.Unlock()
@@ -316,7 +335,7 @@ func (s *Server) submit(req *CampaignRequest, key string) (j *Job, coalesced boo
 		return existing, true, nil
 	}
 	id := fmt.Sprintf("j-%06d", s.nextID.Add(1))
-	j = newJob(id, req, key)
+	j = newJob(id, req, key, parent)
 	select {
 	case s.queue <- j:
 	default:

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream of
@@ -31,10 +32,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	sub := j.subscribe()
 	defer j.unsubscribe(sub)
+	// Idle streams emit SSE comment frames so proxies and clients with
+	// read timeouts keep the connection open while a long campaign runs
+	// between progress updates.
+	var heartbeat <-chan time.Time
+	if s.cfg.SSEHeartbeat > 0 {
+		t := time.NewTicker(s.cfg.SSEHeartbeat)
+		defer t.Stop()
+		heartbeat = t.C
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-heartbeat:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
 		case p := <-sub:
 			writeEvent(w, "progress", p)
 			flusher.Flush()

@@ -9,16 +9,18 @@ import (
 )
 
 // CLI wires the shared observability flags into a command. Every cmd/*
-// binary binds the same three flags so campaigns are observable the same
-// way everywhere:
+// binary binds the same flags so campaigns are observable the same way
+// everywhere:
 //
-//	-obs-addr host:port   serve expvar JSON and pprof while running
+//	-obs-addr host:port   serve /metrics, expvar JSON and pprof while running
 //	-metrics-out FILE     write a telemetry snapshot JSON at exit
 //	-progress             print periodic campaign status to stderr
+//	-log-json             emit structured JSON logs instead of key=value text
 type CLI struct {
 	ObsAddr    string
 	MetricsOut string
 	Progress   bool
+	LogJSON    bool
 
 	program string
 	server  *http.Server
@@ -29,9 +31,10 @@ type CLI struct {
 // handle the command uses to start and stop the facilities.
 func BindFlags(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
-	fs.StringVar(&c.ObsAddr, "obs-addr", "", "serve expvar JSON and pprof on this address (e.g. localhost:6060)")
-	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a telemetry snapshot JSON file at exit")
+	fs.StringVar(&c.ObsAddr, "obs-addr", "", "serve /metrics, expvar JSON and pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a telemetry snapshot JSON file at exit (atomic rename)")
 	fs.BoolVar(&c.Progress, "progress", false, "print periodic campaign progress lines to stderr")
+	fs.BoolVar(&c.LogJSON, "log-json", false, "structured JSON logs on stderr instead of key=value text")
 	return c
 }
 
@@ -40,6 +43,7 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 func (c *CLI) Start(program string) error {
 	c.program = program
 	Default.SetProgram(program)
+	log := ConfigureLogger(program, c.LogJSON, nil)
 	if c.Progress {
 		EnableProgress(os.Stderr, 2*time.Second)
 	}
@@ -49,8 +53,11 @@ func (c *CLI) Start(program string) error {
 			return fmt.Errorf("observability server: %w", err)
 		}
 		c.server = srv
-		fmt.Fprintf(os.Stderr, "%s: serving expvar at http://%s/debug/vars and pprof at http://%s/debug/pprof/\n",
-			program, addr, addr)
+		log.Info("observability server listening",
+			"metrics", "http://"+addr+"/metrics",
+			"expvar", "http://"+addr+"/debug/vars",
+			"pprof", "http://"+addr+"/debug/pprof/",
+			"traces", "http://"+addr+"/debug/traces")
 	}
 	return nil
 }

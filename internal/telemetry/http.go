@@ -6,8 +6,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"neutronsim/internal/telemetry/trace"
 )
 
 // servedRegistry backs the process-wide "telemetry" expvar; expvar.Publish
@@ -20,9 +23,12 @@ var (
 
 // Serve starts an observability HTTP server on addr exposing
 //
+//   - /metrics — Prometheus text exposition of this registry,
 //   - /debug/vars — expvar-compatible JSON including a "telemetry" var
 //     with this registry's full snapshot,
-//   - /debug/telemetry — the bare snapshot JSON, and
+//   - /debug/telemetry — the bare snapshot JSON,
+//   - /debug/traces — recent completed traces from trace.Default
+//     (?n=N bounds the count), and
 //   - /debug/pprof/ — the standard net/http/pprof profiles.
 //
 // It returns the running server and the bound address (useful with ":0").
@@ -38,6 +44,25 @@ func Serve(addr string, r *Registry) (*http.Server, string, error) {
 		}))
 	})
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", PrometheusHandler(r))
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc, err := json.MarshalIndent(map[string]any{
+			"total":  trace.Default.Total(),
+			"traces": trace.Default.Recent(n),
+		}, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(enc)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

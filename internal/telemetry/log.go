@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+
+	"neutronsim/internal/telemetry/trace"
+)
+
+// Structured logging for the CLIs and neutrond, built on log/slog. One
+// process-wide logger replaces the ad-hoc fmt.Fprintf(os.Stderr, ...)
+// diagnostics: every line carries the program name, and lines emitted
+// under an active trace carry the trace and span IDs, so a campaign's
+// log lines, its /v1/jobs/{id}/trace tree, and any peer worker's logs
+// join on one identifier.
+
+// logger is the process logger; it defaults to human-readable key=value
+// text on stderr until ConfigureLogger replaces it.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// Log returns the process logger.
+func Log() *slog.Logger { return logger.Load() }
+
+// ConfigureLogger rebuilds the process logger writing to w (nil means
+// stderr): JSON when json is set, key=value text otherwise, with program
+// attached to every record. It also installs the logger as slog's default
+// so third-party slog users agree on the format.
+func ConfigureLogger(program string, json bool, w io.Writer) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	l := slog.New(h)
+	if program != "" {
+		l = l.With(slog.String("program", program))
+	}
+	logger.Store(l)
+	slog.SetDefault(l)
+	return l
+}
+
+// LogWith returns the process logger with the context's trace and span
+// IDs attached (when a trace is active), so handlers and job workers log
+// lines correlated with their trace tree.
+func LogWith(ctx context.Context) *slog.Logger {
+	l := Log()
+	if sp := trace.FromContext(ctx); sp != nil {
+		l = l.With(
+			slog.String("trace_id", sp.Trace().ID().String()),
+			slog.String("span_id", sp.ID().String()),
+		)
+	}
+	return l
+}

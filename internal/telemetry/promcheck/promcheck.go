@@ -1,0 +1,363 @@
+// Package promcheck is a strict, hand-written validator for the
+// Prometheus text exposition format (0.0.4) — the test-side contract for
+// the /metrics endpoints. It is deliberately pickier than a scraper:
+// every sample must belong to a declared metric family, families must not
+// repeat or interleave, histogram buckets must be cumulative and close
+// with le="+Inf" equal to _count, and counters must be non-negative.
+// CI runs it against a live neutrond after a campaign, so an exposition
+// regression fails the build rather than a dashboard.
+package promcheck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type family struct {
+	name    string
+	typ     string
+	samples int
+	closed  bool // a later TYPE line was seen; no more samples allowed
+
+	// histogram accounting
+	lastCum   float64
+	lastLe    float64
+	sawInf    bool
+	infCount  float64
+	count     float64
+	hasCount  bool
+	bucketSeq int
+}
+
+// Validate reads one exposition document and returns the first violation
+// found, or nil if the document is valid. An empty document is valid.
+func Validate(r io.Reader) error {
+	families := map[string]*family{}
+	var current *family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fam, err := parseMeta(line, families, lineNo)
+			if err != nil {
+				return err
+			}
+			if fam != nil {
+				if current != nil && current != fam {
+					current.closed = true
+					if err := finishFamily(current); err != nil {
+						return fmt.Errorf("line %d: %w", lineNo, err)
+					}
+				}
+				current = fam
+			}
+			continue
+		}
+		if err := parseSample(line, families, &current, lineNo); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("promcheck: read: %w", err)
+	}
+	if current != nil {
+		if err := finishFamily(current); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	for _, fam := range families {
+		if fam.samples == 0 {
+			return fmt.Errorf("promcheck: family %q declared but has no samples", fam.name)
+		}
+	}
+	return nil
+}
+
+// parseMeta handles comment lines; TYPE lines open a family.
+func parseMeta(line string, families map[string]*family, lineNo int) (*family, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "#" {
+		return nil, fmt.Errorf("promcheck: line %d: malformed comment %q", lineNo, line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !nameRe.MatchString(fields[2]) {
+			return nil, fmt.Errorf("promcheck: line %d: malformed HELP line", lineNo)
+		}
+		return nil, nil
+	case "TYPE":
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("promcheck: line %d: TYPE needs name and type", lineNo)
+		}
+		name, typ := fields[2], fields[3]
+		if !nameRe.MatchString(name) {
+			return nil, fmt.Errorf("promcheck: line %d: invalid metric name %q", lineNo, name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return nil, fmt.Errorf("promcheck: line %d: unknown metric type %q", lineNo, typ)
+		}
+		if _, dup := families[name]; dup {
+			return nil, fmt.Errorf("promcheck: line %d: duplicate TYPE for %q", lineNo, name)
+		}
+		fam := &family{name: name, typ: typ, lastLe: math.Inf(-1)}
+		families[name] = fam
+		return fam, nil
+	default:
+		// Arbitrary comments are allowed.
+		return nil, nil
+	}
+}
+
+// sampleName splits a sample line into name, label block and value.
+func parseSample(line string, families map[string]*family, current **family, lineNo int) error {
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd <= 0 {
+		return fmt.Errorf("promcheck: line %d: malformed sample %q", lineNo, line)
+	}
+	name := rest[:nameEnd]
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("promcheck: line %d: invalid sample name %q", lineNo, name)
+	}
+	rest = rest[nameEnd:]
+	labels := map[string]string{}
+	if rest[0] == '{' {
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			return fmt.Errorf("promcheck: line %d: unterminated label block", lineNo)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:close], lineNo)
+		if err != nil {
+			return err
+		}
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return fmt.Errorf("promcheck: line %d: want value [timestamp], got %q", lineNo, rest)
+	}
+	value, err := parseValue(fields[0])
+	if err != nil {
+		return fmt.Errorf("promcheck: line %d: %w", lineNo, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("promcheck: line %d: bad timestamp %q", lineNo, fields[1])
+		}
+	}
+
+	fam := familyFor(name, families)
+	if fam == nil {
+		return fmt.Errorf("promcheck: line %d: sample %q without a TYPE declaration", lineNo, name)
+	}
+	if fam.closed {
+		return fmt.Errorf("promcheck: line %d: samples for %q interleave with another family", lineNo, fam.name)
+	}
+	if *current != nil && *current != fam {
+		(*current).closed = true
+		if err := finishFamily(*current); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	*current = fam
+	fam.samples++
+	return checkSample(fam, name, labels, value, lineNo)
+}
+
+// familyFor resolves a sample to its family, honoring the histogram and
+// summary sub-series suffixes.
+func familyFor(name string, families map[string]*family) *family {
+	if fam, ok := families[name]; ok {
+		return fam
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if fam, exists := families[base]; exists &&
+			(fam.typ == "histogram" || fam.typ == "summary") &&
+			(suffix != "_bucket" || fam.typ == "histogram") {
+			return fam
+		}
+	}
+	return nil
+}
+
+// checkSample enforces per-type semantics.
+func checkSample(fam *family, name string, labels map[string]string, value float64, lineNo int) error {
+	switch fam.typ {
+	case "counter":
+		if name != fam.name {
+			return fmt.Errorf("promcheck: line %d: counter sample %q must be named %q", lineNo, name, fam.name)
+		}
+		if value < 0 || math.IsNaN(value) {
+			return fmt.Errorf("promcheck: line %d: counter %q has invalid value %v", lineNo, name, value)
+		}
+	case "gauge", "untyped":
+		if name != fam.name {
+			return fmt.Errorf("promcheck: line %d: %s sample %q must be named %q", lineNo, fam.typ, name, fam.name)
+		}
+	case "summary":
+		switch name {
+		case fam.name + "_sum", fam.name + "_count", fam.name:
+		default:
+			return fmt.Errorf("promcheck: line %d: unexpected summary series %q", lineNo, name)
+		}
+		if name == fam.name+"_count" && (value < 0 || math.IsNaN(value)) {
+			return fmt.Errorf("promcheck: line %d: summary count %q negative", lineNo, name)
+		}
+	case "histogram":
+		switch name {
+		case fam.name + "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("promcheck: line %d: histogram bucket without le label", lineNo)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("promcheck: line %d: bad le %q: %w", lineNo, le, err)
+			}
+			if bound <= fam.lastLe {
+				return fmt.Errorf("promcheck: line %d: bucket bounds not increasing (%v after %v)", lineNo, bound, fam.lastLe)
+			}
+			if value < fam.lastCum || math.IsNaN(value) || value < 0 {
+				return fmt.Errorf("promcheck: line %d: histogram %q buckets not cumulative (%v after %v)",
+					lineNo, fam.name, value, fam.lastCum)
+			}
+			fam.lastLe, fam.lastCum = bound, value
+			fam.bucketSeq++
+			if math.IsInf(bound, 1) {
+				fam.sawInf = true
+				fam.infCount = value
+			}
+		case fam.name + "_sum":
+			// Sums of negative observations may be negative; only NaN is out.
+			if math.IsNaN(value) {
+				return fmt.Errorf("promcheck: line %d: histogram sum is NaN", lineNo)
+			}
+		case fam.name + "_count":
+			if value < 0 || math.IsNaN(value) {
+				return fmt.Errorf("promcheck: line %d: histogram count invalid", lineNo)
+			}
+			fam.count = value
+			fam.hasCount = true
+		default:
+			return fmt.Errorf("promcheck: line %d: unexpected histogram series %q", lineNo, name)
+		}
+	}
+	return nil
+}
+
+// finishFamily runs the whole-family invariants once its samples end.
+func finishFamily(fam *family) error {
+	if fam.typ != "histogram" || fam.bucketSeq == 0 {
+		return nil
+	}
+	if !fam.sawInf {
+		return fmt.Errorf("promcheck: histogram %q lacks an le=\"+Inf\" bucket", fam.name)
+	}
+	if fam.hasCount && fam.infCount != fam.count {
+		return fmt.Errorf("promcheck: histogram %q +Inf bucket (%v) != _count (%v)",
+			fam.name, fam.infCount, fam.count)
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad float %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels parses the inside of a label block strictly: name="value"
+// pairs, comma-separated, values with only the three legal escapes.
+func parseLabels(s string, lineNo int) (map[string]string, error) {
+	labels := map[string]string{}
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("promcheck: line %d: label without '='", lineNo)
+		}
+		name := s[i : i+eq]
+		if !labelRe.MatchString(name) {
+			return nil, fmt.Errorf("promcheck: line %d: invalid label name %q", lineNo, name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("promcheck: line %d: duplicate label %q", lineNo, name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("promcheck: line %d: label %q value not quoted", lineNo, name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("promcheck: line %d: unterminated label value", lineNo)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("promcheck: line %d: dangling escape", lineNo)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("promcheck: line %d: illegal escape \\%c", lineNo, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("promcheck: line %d: expected ',' between labels", lineNo)
+			}
+			i++
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,139 @@
+package promcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func validate(doc string) error {
+	return Validate(strings.NewReader(doc))
+}
+
+func TestValidDocuments(t *testing.T) {
+	docs := map[string]string{
+		"empty": "",
+		"counter": `# TYPE jobs_total counter
+jobs_total 3
+`,
+		"gauge with labels": `# TYPE queue_depth gauge
+queue_depth{pool="default"} 2
+`,
+		"histogram": `# TYPE latency histogram
+latency_bucket{le="0.1"} 1
+latency_bucket{le="1"} 4
+latency_bucket{le="+Inf"} 5
+latency_sum 2.5
+latency_count 5
+`,
+		"summary": `# TYPE span_seconds summary
+span_seconds_sum{path="a/b"} 1.5
+span_seconds_count{path="a/b"} 3
+`,
+		"escapes and timestamp": `# TYPE g gauge
+g{l="a\\b\"c\nd"} 1 1700000000000
+`,
+		"help and comments": `# HELP jobs_total submitted jobs
+# arbitrary comment
+# TYPE jobs_total counter
+jobs_total 0
+`,
+	}
+	for name, doc := range docs {
+		if err := validate(doc); err != nil {
+			t.Errorf("%s: unexpected error: %v", name, err)
+		}
+	}
+}
+
+func TestInvalidDocuments(t *testing.T) {
+	docs := map[string]string{
+		"sample without TYPE": "jobs_total 3\n",
+		"duplicate TYPE": `# TYPE a counter
+a 1
+# TYPE a counter
+a 2
+`,
+		"interleaved families": `# TYPE a counter
+# TYPE b counter
+a 1
+b 1
+a 2
+`,
+		"negative counter": `# TYPE a counter
+a -1
+`,
+		"NaN counter": `# TYPE a counter
+a NaN
+`,
+		"counter sample name mismatch": `# TYPE a counter
+a_other 1
+`,
+		"family without samples": `# TYPE a counter
+`,
+		"histogram missing +Inf": `# TYPE h histogram
+h_bucket{le="1"} 2
+h_sum 1
+h_count 2
+`,
+		"histogram +Inf != count": `# TYPE h histogram
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 3
+`,
+		"histogram buckets not cumulative": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"histogram bounds not increasing": `# TYPE h histogram
+h_bucket{le="2"} 1
+h_bucket{le="1"} 2
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 2
+`,
+		"bucket without le": `# TYPE h histogram
+h_bucket{x="1"} 1
+`,
+		"unknown type": `# TYPE a widget
+a 1
+`,
+		"bad metric name": `# TYPE 9a counter
+9a 1
+`,
+		"bad label name": `# TYPE g gauge
+g{9l="x"} 1
+`,
+		"duplicate label": `# TYPE g gauge
+g{l="x",l="y"} 1
+`,
+		"unquoted label value": `# TYPE g gauge
+g{l=x} 1
+`,
+		"illegal escape": `# TYPE g gauge
+g{l="a\tb"} 1
+`,
+		"unterminated label block": `# TYPE g gauge
+g{l="x" 1
+`,
+		"bad value": `# TYPE g gauge
+g one
+`,
+		"bad timestamp": `# TYPE g gauge
+g 1 soon
+`,
+		"summary stray series": `# TYPE s summary
+s_bucket{le="1"} 1
+`,
+		"malformed TYPE": `# TYPE a
+a 1
+`,
+	}
+	for name, doc := range docs {
+		if err := validate(doc); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}

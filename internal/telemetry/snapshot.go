@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 )
 
@@ -96,12 +97,32 @@ func (r *Registry) Snapshot() *Snapshot {
 }
 
 // WriteSnapshot writes the registry's snapshot as indented JSON to path.
+// The write is atomic — a temp file in the same directory renamed over
+// the target — so a scraper polling the file mid-write never reads a torn
+// document.
 func (r *Registry) WriteSnapshot(path string) error {
 	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
 	if err != nil {
 		return fmt.Errorf("telemetry: marshal snapshot: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("telemetry: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("telemetry: write snapshot: %w", err)
 	}
 	return nil

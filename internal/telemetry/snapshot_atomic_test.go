@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteSnapshotAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	// A stale document from a previous run must be replaced wholesale,
+	// never partially overwritten.
+	if err := os.WriteFile(path, []byte("stale garbage that is much longer than the real document could tear into"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	if err := r.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("snapshot unreadable after overwrite: %v", err)
+	}
+	if got.Counters["c"] != 1 {
+		t.Errorf("counter = %d, want 1", got.Counters["c"])
+	}
+	// The temp file must not survive a successful rename.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %q", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir entries = %d, want just the snapshot", len(entries))
+	}
+}
+
+func TestWriteSnapshotUnwritableDir(t *testing.T) {
+	if err := NewRegistry().WriteSnapshot(filepath.Join(t.TempDir(), "missing", "m.json")); err == nil {
+		t.Fatal("writing into a missing directory must fail")
+	}
+}

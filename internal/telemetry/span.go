@@ -3,8 +3,11 @@ package telemetry
 import (
 	"context"
 	"math"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"neutronsim/internal/telemetry/trace"
 )
 
 // spanStats aggregates the completed executions of one span path.
@@ -19,11 +22,17 @@ type spanStats struct {
 // that already carries a span nest under it, so the registry accumulates
 // hierarchical rollups keyed by slash-joined paths such as
 // "core.assess/beam.campaign/beam.runs".
+//
+// When the context also carries an active trace (internal/telemetry/trace),
+// the span opens a matching trace span: the registry keeps the aggregate
+// rollup across all requests while the trace records this request's copy.
+// Both close together in End.
 type Span struct {
 	reg   *Registry
 	path  string
 	start time.Time
 	ended atomic.Bool
+	tspan *trace.Span // nil unless the context carried a trace
 }
 
 type spanCtxKey struct{}
@@ -36,6 +45,7 @@ func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context,
 		path = parent.path + "/" + name
 	}
 	sp := &Span{reg: r, path: path, start: time.Now()}
+	ctx, sp.tspan = trace.StartChild(ctx, name)
 	return context.WithValue(ctx, spanCtxKey{}, sp), sp
 }
 
@@ -44,17 +54,45 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return Default.StartSpan(ctx, name)
 }
 
-// End records the span's duration into its path's rollup. Safe to call
-// more than once; only the first call records.
+// End records the span's duration into its path's rollup (and closes the
+// matching trace span, if any). Safe to call more than once; only the
+// first call records.
 func (s *Span) End() {
 	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return
 	}
+	s.tspan.End()
 	s.reg.recordSpan(s.path, time.Since(s.start))
 }
 
 // Path returns the span's hierarchical identifier.
 func (s *Span) Path() string { return s.path }
+
+// SetStage tags the span's trace copy as a well-known pipeline stage
+// ("queue", "compile", "run", "merge") for per-job timing breakdowns.
+// No-op when no trace is active.
+func (s *Span) SetStage(stage string) {
+	if s != nil {
+		s.tspan.SetStage(stage)
+	}
+}
+
+// Annotate attaches a key=value attribute to the span's trace copy.
+// No-op when no trace is active.
+func (s *Span) Annotate(key, value string) {
+	if s != nil {
+		s.tspan.SetAttr(key, value)
+	}
+}
+
+// AnnotateInt attaches an integer attribute to the span's trace copy. The
+// value is only formatted when a trace is active, so untraced hot paths
+// pay nothing.
+func (s *Span) AnnotateInt(key string, value int) {
+	if s != nil && s.tspan != nil {
+		s.tspan.SetAttr(key, strconv.Itoa(value))
+	}
+}
 
 func (r *Registry) recordSpan(path string, d time.Duration) {
 	r.mu.RLock()

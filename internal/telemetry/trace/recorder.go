@@ -1,0 +1,71 @@
+package trace
+
+import "sync"
+
+// DefaultCapacity bounds the Default recorder's ring of completed traces.
+const DefaultCapacity = 256
+
+// Recorder keeps the most recent completed traces in a fixed ring buffer,
+// so a long-running daemon retains recent campaign history at bounded
+// memory. Traces land here when their root span ends (SetRecorder).
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	total int64
+}
+
+// NewRecorder builds a recorder holding at most capacity completed traces
+// (non-positive falls back to DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{ring: make([]*Trace, capacity)}
+}
+
+// Default is the process-wide recorder: neutrond's job traces and any
+// CLI-originated traces complete into it, and the -obs-addr debug server
+// serves it at /debug/traces.
+var Default = NewRecorder(DefaultCapacity)
+
+// Record adds a completed trace, evicting the oldest when full.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns the number of traces ever recorded (including evicted).
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Recent snapshots up to n completed traces, most recent first. n <= 0
+// means all retained.
+func (r *Recorder) Recent(n int) []*Snapshot {
+	r.mu.Lock()
+	size := len(r.ring)
+	traces := make([]*Trace, 0, size)
+	for i := 1; i <= size; i++ {
+		if t := r.ring[(r.next-i+size)%size]; t != nil {
+			traces = append(traces, t)
+		}
+	}
+	r.mu.Unlock()
+	if n > 0 && len(traces) > n {
+		traces = traces[:n]
+	}
+	out := make([]*Snapshot, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.Snapshot())
+	}
+	return out
+}

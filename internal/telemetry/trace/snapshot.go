@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// SpanSnapshot is the wire form of one span. Children are ordered by start
+// time, so the tree reads chronologically.
+type SpanSnapshot struct {
+	ID       string    `json:"id"`
+	ParentID string    `json:"parent_id,omitempty"`
+	Name     string    `json:"name"`
+	Stage    string    `json:"stage,omitempty"`
+	Start    time.Time `json:"start"`
+	// DurationSeconds is zero for a span still running at snapshot time;
+	// InFlight distinguishes "instant" from "unfinished".
+	DurationSeconds float64         `json:"duration_seconds"`
+	InFlight        bool            `json:"in_flight,omitempty"`
+	Attrs           []Attr          `json:"attrs,omitempty"`
+	Children        []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// StageTiming is the cumulative wall time of one pipeline stage.
+type StageTiming struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Snapshot is the wire form of a whole trace: the span tree plus the
+// per-stage rollup derived from it.
+type Snapshot struct {
+	TraceID string        `json:"trace_id"`
+	Spans   int           `json:"spans"`
+	Dropped int           `json:"dropped_spans,omitempty"`
+	Stages  []StageTiming `json:"stages,omitempty"`
+	Root    *SpanSnapshot `json:"root"`
+}
+
+// Snapshot materializes the trace's current state. It is safe to call on a
+// live trace: unfinished spans appear with InFlight set. Returns nil on a
+// nil trace.
+func (t *Trace) Snapshot() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	now := time.Now()
+	nodes := make(map[SpanID]*SpanSnapshot, len(spans))
+	order := make([]*SpanSnapshot, 0, len(spans))
+	parents := make(map[SpanID]SpanID, len(spans))
+	for _, sp := range spans {
+		sp.mu.Lock()
+		node := &SpanSnapshot{
+			ID:    sp.id.String(),
+			Name:  sp.name,
+			Stage: sp.stage,
+			Start: sp.start,
+		}
+		if len(sp.attrs) > 0 {
+			node.Attrs = append([]Attr(nil), sp.attrs...)
+		}
+		if sp.end.IsZero() {
+			node.InFlight = true
+			node.DurationSeconds = now.Sub(sp.start).Seconds()
+		} else {
+			node.DurationSeconds = sp.end.Sub(sp.start).Seconds()
+		}
+		parents[sp.id] = sp.parent
+		sp.mu.Unlock()
+		nodes[sp.id] = node
+		order = append(order, node)
+	}
+	var root *SpanSnapshot
+	for _, sp := range spans {
+		node := nodes[sp.id]
+		if parent, ok := nodes[parents[sp.id]]; ok && parent != node {
+			node.ParentID = parent.ID
+			parent.Children = append(parent.Children, node)
+		} else if root == nil {
+			root = node
+		}
+	}
+	for _, n := range order {
+		sort.Slice(n.Children, func(i, j int) bool {
+			return n.Children[i].Start.Before(n.Children[j].Start)
+		})
+	}
+	snap := &Snapshot{
+		TraceID: t.id.String(),
+		Spans:   len(spans),
+		Dropped: dropped,
+		Root:    root,
+	}
+	snap.Stages = stageTimings(root)
+	return snap
+}
+
+// stageOrder fixes the reporting order of the well-known pipeline stages;
+// unknown stages follow alphabetically.
+var stageOrder = map[string]int{"queue": 0, "compile": 1, "run": 2, "merge": 3}
+
+// stageTimings sums span durations per stage over the tree. Only the
+// outermost span of each staged subtree is counted: once a span carries a
+// stage, its descendants (the shards under an engine run, the compile
+// under a cache lookup) are details of that same stage, not additions to
+// the total.
+func stageTimings(root *SpanSnapshot) []StageTiming {
+	if root == nil {
+		return nil
+	}
+	totals := map[string]float64{}
+	var walk func(n *SpanSnapshot)
+	walk = func(n *SpanSnapshot) {
+		if n.Stage != "" {
+			totals[n.Stage] += n.DurationSeconds
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if len(totals) == 0 {
+		return nil
+	}
+	out := make([]StageTiming, 0, len(totals))
+	for stage, secs := range totals {
+		out = append(out, StageTiming{Stage: stage, Seconds: secs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, iok := stageOrder[out[i].Stage]
+		oj, jok := stageOrder[out[j].Stage]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok != jok:
+			return iok
+		default:
+			return out[i].Stage < out[j].Stage
+		}
+	})
+	return out
+}
