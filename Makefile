@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sampling bench-plan neutrond clean
+.PHONY: check vet build test race bench bench-sampling bench-plan bench-vr neutrond clean
 
 check: vet build race
 
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-bench: bench-sampling bench-plan
+bench: bench-sampling bench-plan bench-vr
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # bench-sampling runs the sampling + beam hot-loop benchmarks single-threaded
@@ -41,8 +41,16 @@ bench-sampling:
 bench-plan:
 	GOMAXPROCS=1 $(GO) test -run='^$$' -bench='BenchmarkPlan' -benchmem ./internal/plan
 
+# bench-vr runs the importance-sampling E3 comparison (exact vs zero-bias
+# vs thermally biased Zynq campaign at ChipIR) and writes BENCH_vr.json.
+# The snapshot writer fails if the zero-bias campaign is not bit-identical
+# to the exact one or the neutron-budget reduction on the thermal-DUE
+# channel drops below 20x.
+bench-vr:
+	$(GO) test -run='^$$' -bench='BenchmarkVR' -benchmem ./internal/vr
+
 neutrond:
 	$(GO) build -o neutrond ./cmd/neutrond
 
 clean:
-	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json neutrond
+	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json BENCH_vr.json neutrond

@@ -6,7 +6,14 @@
 //
 //	beamsim [-device K20 | -device-file my.json] [-workloads MxM,LUD]
 //	        [-fast 600] [-thermal 3600] [-boost 50] [-seed N] [-shards N]
+//	        [-bias-thermal F] [-bias-epithermal F] [-bias-fast F]
 //	        [-dump-device path]   # write a catalog device as a JSON template
+//
+// The -bias-* flags opt the campaigns into importance-sampled transport:
+// the named band is oversampled by the given factor and every draw carries
+// a likelihood weight, so the printed cross sections stay unbiased while
+// rare channels (thermal-band DUEs under ChipIR, say) collect far more
+// statistics. See DESIGN.md §14.
 package main
 
 import (
@@ -39,6 +46,9 @@ func run(args []string) error {
 	thermalSeconds := fs.Float64("thermal", 3600, "ROTAX beam seconds")
 	boost := fs.Float64("boost", 50, "sensitivity boost (ratios preserved; sigmas corrected)")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "concurrent campaign shard executors (never affects results)")
+	biasThermal := fs.Float64("bias-thermal", 0, "thermal-band oversampling factor (0 = exact transport)")
+	biasEpithermal := fs.Float64("bias-epithermal", 0, "epithermal-band oversampling factor (0 = exact transport)")
+	biasFast := fs.Float64("bias-fast", 0, "fast-band oversampling factor (0 = exact transport)")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	list := fs.Bool("list", false, "list devices and benchmarks, then exit")
 	obs := telemetry.BindFlags(fs)
@@ -97,6 +107,13 @@ func run(args []string) error {
 		Boost:          *boost,
 		Shards:         *shards,
 	}
+	if *biasThermal != 0 || *biasEpithermal != 0 || *biasFast != 0 {
+		bias := &neutronsim.Bias{Thermal: *biasThermal, Epithermal: *biasEpithermal, Fast: *biasFast}
+		if err := bias.Validate(); err != nil {
+			return err
+		}
+		budget.Bias = bias
+	}
 	a, err := neutronsim.Assess(d, wls, budget, *seed)
 	if err != nil {
 		return err
@@ -119,6 +136,14 @@ func run(args []string) error {
 	}
 	if !math.IsNaN(due) {
 		fmt.Printf("fast:thermal DUE ratio = %.2f  [%.2f, %.2f]\n", due, dueLo, dueHi)
+	}
+	if w := a.FastAvg.Weighted; w != nil {
+		fmt.Printf("importance sampling %+v: ChipIR effective neutron budget %.0f of %d draws\n",
+			w.Bias, w.Draws.ESS(), w.Draws.N)
+	}
+	if w := a.ThermalAvg.Weighted; w != nil {
+		fmt.Printf("importance sampling %+v: ROTAX effective neutron budget %.0f of %d draws\n",
+			w.Bias, w.Draws.ESS(), w.Draws.N)
 	}
 	return obs.Close()
 }

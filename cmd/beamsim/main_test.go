@@ -92,3 +92,25 @@ func TestDeviceFileErrors(t *testing.T) {
 		t.Error("missing device file accepted")
 	}
 }
+
+// TestBiasedCampaignOutput covers the -bias-* wiring: a biased assessment
+// must run end to end and report its effective neutron budget, and an
+// invalid factor must be rejected up front.
+func TestBiasedCampaignOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-device", "K20", "-workloads", "MxM",
+			"-fast", "120", "-thermal", "600", "-boost", "100", "-seed", "2",
+			"-bias-thermal", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"K20", "importance sampling", "effective neutron budget"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-device", "K20", "-bias-thermal", "-1"}); err == nil {
+		t.Error("negative bias factor accepted")
+	}
+}

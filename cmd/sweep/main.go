@@ -8,6 +8,13 @@
 //	sweep [-boron-min 1e12] [-boron-max 1e15] [-boron-steps 7]
 //	      [-qcrit-min 1] [-qcrit-max 16] [-qcrit-steps 5]
 //	      [-samples 60000] [-shards N] [-seed N] [-csv file]
+//	      [-bias-thermal F] [-bias-epithermal F] [-bias-fast F]
+//
+// The -bias-* flags switch the cross-section estimator to importance
+// sampling: each design point compiles a biased campaign plan per beamline
+// and estimates σ from likelihood-weighted interaction draws, so the rare
+// band gathers far more upset statistics from the same sample count. The
+// output format is unchanged. See DESIGN.md §14.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/engine"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/telemetry"
@@ -51,6 +59,9 @@ func run(args []string) error {
 	samples := fs.Int("samples", 60000, "Monte Carlo energies per cross section")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0), "concurrent design-point evaluators (never affects results)")
 	workers := fs.Int("workers", 0, "deprecated alias for -shards")
+	biasThermal := fs.Float64("bias-thermal", 0, "thermal-band oversampling factor (0 = exact estimator)")
+	biasEpithermal := fs.Float64("bias-epithermal", 0, "epithermal-band oversampling factor (0 = exact estimator)")
+	biasFast := fs.Float64("bias-fast", 0, "fast-band oversampling factor (0 = exact estimator)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the grid as CSV")
 	obs := telemetry.BindFlags(fs)
@@ -95,8 +106,16 @@ func run(args []string) error {
 		pool = 1
 	}
 
+	var bias *plan.Bias
+	if *biasThermal != 0 || *biasEpithermal != 0 || *biasFast != 0 {
+		bias = &plan.Bias{Thermal: *biasThermal, Epithermal: *biasEpithermal, Fast: *biasFast}
+		if err := bias.Validate(); err != nil {
+			return err
+		}
+	}
+
 	points := buildGrid(*boronMin, *boronMax, *boronSteps, *qcritMin, *qcritMax, *qcritSteps)
-	if err := evaluate(points, *samples, pool, *seed); err != nil {
+	if err := evaluate(points, *samples, pool, *seed, bias); err != nil {
 		return err
 	}
 
@@ -144,8 +163,11 @@ func buildGrid(bMin, bMax float64, bSteps int, qMin, qMax float64, qSteps int) [
 
 // evaluate fills in the cross sections on the sharded engine, one design
 // point per shard. Each point draws from its own split RNG stream, so the
-// result is independent of scheduling and of the worker count.
-func evaluate(points []*point, samples, workers int, seed uint64) error {
+// result is independent of scheduling and of the worker count. With a
+// non-nil bias, each point compiles a biased campaign plan per beamline
+// (the calibration set doubles as the estimator's energy sample) and uses
+// the likelihood-weighted estimator instead of the analog one.
+func evaluate(points []*point, samples, workers int, seed uint64, bias *plan.Bias) error {
 	evalStart := time.Now()
 	evaluated := telemetry.Default.Counter("sweep.points_evaluated")
 	// One compiled spectrum per beamline and one device template for the
@@ -182,16 +204,28 @@ func evaluate(points []*point, samples, workers int, seed uint64) error {
 			d.Boron10PerCm2 = p.boron
 			d.QcritFC = p.qcrit
 			d.QcritSigmaFC = p.qcrit / 4
-			sigmaT, err := d.UpsetCrossSection(rotax.Sample, samples, sh.Stream)
+			sigma := func(sp spectrum.Spectrum) (float64, error) {
+				if bias == nil {
+					s, err := d.UpsetCrossSection(sp.Sample, samples, sh.Stream)
+					return float64(s), err
+				}
+				cp, err := plan.CompileBiased(&d, sp, samples, sh.Stream, *bias)
+				if err != nil {
+					return 0, err
+				}
+				s, _, err := cp.UpsetCrossSectionWeighted(&d, samples, sh.Stream)
+				return float64(s), err
+			}
+			sigmaT, err := sigma(rotax)
 			if err != nil {
 				return struct{}{}, err
 			}
-			sigmaF, err := d.UpsetCrossSection(chip.Sample, samples, sh.Stream)
+			sigmaF, err := sigma(chip)
 			if err != nil {
 				return struct{}{}, err
 			}
-			p.sigmaThermal = float64(sigmaT)
-			p.sigmaFast = float64(sigmaF)
+			p.sigmaThermal = sigmaT
+			p.sigmaFast = sigmaF
 			evaluated.Inc()
 			return struct{}{}, nil
 		})

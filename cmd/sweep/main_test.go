@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"neutronsim/internal/plan"
 )
 
 func capture(t *testing.T, f func() error) (string, error) {
@@ -151,7 +153,7 @@ func TestWorkersShardsConflict(t *testing.T) {
 
 func TestSweepMonotoneInBoron(t *testing.T) {
 	pts := buildGrid(1e13, 1e15, 3, 6, 6, 1)
-	if err := evaluate(pts, 30000, 2, 9); err != nil {
+	if err := evaluate(pts, 30000, 2, 9, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Thermal sigma rises with boron; fast sigma stays flat.
@@ -162,5 +164,56 @@ func TestSweepMonotoneInBoron(t *testing.T) {
 	fastSpread := pts[2].sigmaFast / pts[0].sigmaFast
 	if fastSpread < 0.5 || fastSpread > 2 {
 		t.Errorf("fast sigma should not depend on boron: spread %v", fastSpread)
+	}
+}
+
+// TestSweepBiasedAgreesWithExact pins the weighted estimator's contract:
+// with thermal oversampling the design-point sigmas must agree with the
+// analog estimator within Monte Carlo noise, on both beamlines.
+func TestSweepBiasedAgreesWithExact(t *testing.T) {
+	exact := buildGrid(1e14, 1e15, 2, 6, 6, 1)
+	if err := evaluate(exact, 30000, 2, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	biased := buildGrid(1e14, 1e15, 2, 6, 6, 1)
+	if err := evaluate(biased, 30000, 2, 9, &plan.Bias{Thermal: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		for _, c := range []struct {
+			name   string
+			ex, bi float64
+		}{
+			{"thermal", exact[i].sigmaThermal, biased[i].sigmaThermal},
+			{"fast", exact[i].sigmaFast, biased[i].sigmaFast},
+		} {
+			if c.ex <= 0 || c.bi <= 0 {
+				t.Errorf("point %d %s: nonpositive sigma (exact %v, biased %v)", i, c.name, c.ex, c.bi)
+				continue
+			}
+			if r := c.bi / c.ex; r < 0.7 || r > 1.4 {
+				t.Errorf("point %d %s: biased sigma %v vs exact %v (ratio %v)", i, c.name, c.bi, c.ex, r)
+			}
+		}
+	}
+}
+
+// TestSweepBiasFlags covers the CLI wiring: a biased sweep produces the
+// usual table and an invalid factor is rejected before any work runs.
+func TestSweepBiasFlags(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-boron-steps", "1", "-qcrit-steps", "1",
+			"-samples", "4000", "-seed", "5", "-bias-thermal", "12",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "thermal:fast") {
+		t.Errorf("missing header: %.200s", out)
+	}
+	if err := run([]string{"-bias-thermal", "-3"}); err == nil {
+		t.Error("negative bias factor accepted")
 	}
 }

@@ -57,6 +57,16 @@ type Config struct {
 	// part of the deterministic seed schedule: changing it re-partitions
 	// the campaign and re-derives every shard's stream.
 	ShardGrain int
+	// Bias enables importance-sampled (weighted) interaction draws: the
+	// campaign samples from a band-biased alias table and every draw
+	// carries its likelihood weight into the tallies, so rare-band
+	// statistics converge from far fewer neutrons without changing any
+	// expectation (DESIGN.md §14). nil is the exact (analog) estimator;
+	// the identity &plan.Bias{} routes through the weighted code path but
+	// reproduces exact results bit-for-bit. Biased results carry a
+	// Weighted section and their cross sections become the weighted,
+	// ESS-gated estimates.
+	Bias *plan.Bias
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +92,11 @@ func (c Config) validate() error {
 	case c.Derating > 1:
 		return errors.New("beam: derating cannot exceed 1")
 	}
+	if c.Bias != nil {
+		if err := c.Bias.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.Device.Validate()
 }
 
@@ -104,9 +119,44 @@ type Result struct {
 	// Reprograms counts FPGA bitstream reloads after observed errors.
 	Reprograms int64
 
-	// Cross sections (cm² per device) with Poisson 95% CIs.
+	// Cross sections (cm² per device) with Poisson 95% CIs. For biased
+	// campaigns these are the weighted, ESS-gated estimates — unbiased
+	// drop-ins for the exact ones — because the raw SDC/DUE counts of a
+	// biased campaign are counts under the biased distribution, not
+	// physics.
 	SDCCrossSection stats.RateEstimate
 	DUECrossSection stats.RateEstimate
+
+	// Weighted carries the importance-sampling tallies of a biased
+	// campaign (Config.Bias non-nil). It is nil for exact campaigns, so
+	// exact results are unchanged structurally and byte-for-byte.
+	Weighted *WeightedResult `json:",omitempty"`
+}
+
+// WeightedResult is the likelihood-weighted side of a biased campaign:
+// every tally pairs the weighted sum (the unbiased estimate of the exact
+// count) with the sum of squared weights, from which the effective sample
+// size — the honest amount of statistics behind any CI claim — follows.
+type WeightedResult struct {
+	// Bias echoes the campaign's bias knob.
+	Bias plan.Bias `json:"bias"`
+	// Draws tallies every interaction draw. Its weighted sum estimates
+	// the number of draws an exact campaign would produce — equal to its
+	// raw N in expectation (weights conservation) — and its ESS is the
+	// effective neutron budget behind the whole campaign.
+	Draws stats.Weighted `json:"draws"`
+	// Run outcomes under the run-level likelihood weight (the product of
+	// the weights of every draw that influenced the run, including draws
+	// carried across runs by persistent FPGA faults).
+	SDC    stats.Weighted `json:"sdc"`
+	DUE    stats.Weighted `json:"due"`
+	Masked stats.Weighted `json:"masked"`
+	// UpsetsByBand tallies raw device upsets per band under the per-draw
+	// weight; DUEByBand attributes weighted DUEs to the band of the run's
+	// first fault — the per-band rare-channel tallies the variance
+	// reduction is aimed at (EXPERIMENTS.md E3).
+	UpsetsByBand map[physics.EnergyBand]stats.Weighted `json:"upsets_by_band"`
+	DUEByBand    map[physics.EnergyBand]stats.Weighted `json:"due_by_band"`
 }
 
 // Run executes the campaign and reports counts and cross sections.
@@ -131,6 +181,19 @@ type shardTally struct {
 	upsets, reprograms int64
 	interactions       int64
 	byBand             [physics.NumBands + 1]int64
+	// w holds the weighted tallies of a biased campaign; it stays zero on
+	// the exact path. Fixed-size value state, so the weighted run loop
+	// stays allocation-free.
+	w weightedShardTally
+}
+
+// weightedShardTally is one shard's private weighted accumulators,
+// mirroring the integer tallies above with likelihood-weighted sums.
+type weightedShardTally struct {
+	draws            stats.Weighted
+	sdc, due, masked stats.Weighted
+	upsetsByBand     [physics.NumBands + 1]stats.Weighted
+	dueByBand        [physics.NumBands + 1]stats.Weighted
 }
 
 // RunContext is Run with a caller context, so the campaign's telemetry
@@ -161,7 +224,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// bit-identically (DESIGN.md §12).
 	calCtx, cal := telemetry.StartSpan(ctx, "beam.calibrate")
 	cal.SetStage("compile")
-	pl := plan.Shared.ForContext(calCtx, cfg.Device, cfg.Beam, cfg.CalSamples, cfg.Seed)
+	pl := plan.Shared.ForBiasedContext(calCtx, cfg.Device, cfg.Beam, cfg.CalSamples, cfg.Seed, cfg.Bias)
 	cal.End()
 	// beam.neutrons_sampled counts the campaign's calibration budget; it is
 	// posted whether the plan was compiled here or served from the cache,
@@ -264,6 +327,22 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		reg.Gauge("beam.samples_per_sec").Set(
 			(float64(cfg.CalSamples) + float64(totalInteractions)) / elapsed)
 	}
+	if cfg.Bias != nil {
+		res.Weighted = mergeWeighted(*cfg.Bias, tallies)
+		// beam.neutrons_weighted counts the biased campaign's weighted
+		// interaction draws. Like every Result field it is a pure function
+		// of the shard decomposition, so it is shard-count-invariant.
+		reg.Counter("beam.neutrons_weighted").Add(res.Weighted.Draws.N)
+		// Biased cross sections are the weighted estimates: the raw counts
+		// are biased-sample counts and would mis-state the physics.
+		if res.SDCCrossSection, err = stats.EstimateWeightedRate(res.Weighted.SDC, float64(res.Fluence)); err != nil {
+			return nil, err
+		}
+		if res.DUECrossSection, err = stats.EstimateWeightedRate(res.Weighted.DUE, float64(res.Fluence)); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	if res.SDCCrossSection, err = stats.EstimateRate(res.SDC, float64(res.Fluence)); err != nil {
 		return nil, err
 	}
@@ -271,6 +350,45 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// mergeWeighted folds the shards' weighted tallies — in shard order, like
+// the integer merge above, so weighted results inherit the engine's
+// bit-identical-across-worker-counts invariant — and finalizes every
+// tally (Kahan compensation folded in) before publishing.
+func mergeWeighted(bias plan.Bias, tallies []shardTally) *WeightedResult {
+	wr := &WeightedResult{
+		Bias:         bias,
+		UpsetsByBand: map[physics.EnergyBand]stats.Weighted{},
+		DUEByBand:    map[physics.EnergyBand]stats.Weighted{},
+	}
+	var upsetsByBand, dueByBand [physics.NumBands + 1]stats.Weighted
+	for i := range tallies {
+		w := &tallies[i].w
+		wr.Draws.Merge(w.draws)
+		wr.SDC.Merge(w.sdc)
+		wr.DUE.Merge(w.due)
+		wr.Masked.Merge(w.masked)
+		for b := range w.upsetsByBand {
+			upsetsByBand[b].Merge(w.upsetsByBand[b])
+			dueByBand[b].Merge(w.dueByBand[b])
+		}
+	}
+	wr.Draws.Finalize()
+	wr.SDC.Finalize()
+	wr.DUE.Finalize()
+	wr.Masked.Finalize()
+	for b := 1; b < len(upsetsByBand); b++ {
+		if t := upsetsByBand[b]; t.N != 0 {
+			t.Finalize()
+			wr.UpsetsByBand[physics.EnergyBand(b)] = t
+		}
+		if t := dueByBand[b]; t.N != 0 {
+			t.Finalize()
+			wr.DUEByBand[physics.EnergyBand(b)] = t
+		}
+	}
+	return wr
 }
 
 // shardRunner executes one shard's slice of beam runs. Each shard owns a
@@ -295,6 +413,15 @@ type shardRunner struct {
 	tc           shardTally
 	faults       []faultinject.Timed
 	persistent   []faultinject.Timed
+	// wCarried is the weighted run loop's carried likelihood weight: the
+	// product of the weights of every draw since the shard's last
+	// persistent-state regeneration (empty persistent set). A run's
+	// outcome depends on those draws through the carried FPGA
+	// configuration faults, so its outcome weight is wCarried times the
+	// current run's draw-weight product. Regeneration points (persistent
+	// empty) restart the chain from a deterministic state, which is what
+	// keeps the segmented product unbiased.
+	wCarried float64
 }
 
 func newShardRunner(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda float64, events *atomic.Int64) (*shardRunner, error) {
@@ -315,6 +442,7 @@ func newShardRunner(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda f
 		steps:        w.Steps(),
 		s:            sh.Stream,
 		events:       events,
+		wCarried:     1,
 	}, nil
 }
 
@@ -388,10 +516,100 @@ func (r *shardRunner) oneRun() {
 	}
 }
 
+// oneRunWeighted is oneRun for biased campaigns: the same run structure —
+// Poisson draw count, per-interaction device physics, workload replay —
+// but every interaction comes from the biased table with its likelihood
+// weight, and every tally is fed the appropriate weight alongside the
+// integer count. Per-draw tallies (draws, upsets by band) use the draw's
+// own weight; run outcomes (SDC/DUE/Masked) use the product of the
+// weights of every draw that influenced the run. Like oneRun it must stay
+// free of per-run allocations (TestRunLoopZeroAllocs covers both).
+func (r *shardRunner) oneRunWeighted() {
+	s := r.s
+	nInt := r.poisson()
+	r.tc.interactions += nInt
+	wRun := 1.0
+	faults := append(r.faults[:0], r.persistent...)
+	for k := int64(0); k < nInt; k++ {
+		e, w := r.plan.SampleInteractionWeighted(s)
+		r.tc.w.draws.Add(w)
+		wRun *= w
+		f, upset := r.cfg.Device.InteractionUpset(e, s)
+		if !upset {
+			continue
+		}
+		r.tc.upsets++
+		r.tc.byBand[f.Band]++
+		r.tc.w.upsetsByBand[f.Band].Add(w)
+		tf := faultinject.Timed{Step: s.Intn(r.steps), Fault: f}
+		faults = append(faults, tf)
+		if f.Target == device.TargetConfig {
+			tf.Step = 0 // a corrupted bitstream affects the whole run
+			r.persistent = append(r.persistent, tf)
+		}
+	}
+	// This run's outcome is a function of its own draws and of the draws
+	// whose persistent faults were carried in, so its likelihood weight
+	// is the carried product times this run's product.
+	wOut := r.wCarried * wRun
+	r.faults = faults[:0]
+	if len(faults) == 0 {
+		r.tc.masked++
+		r.tc.w.masked.Add(wOut)
+		r.advanceCarried(wRun)
+		return
+	}
+	outcomeBand := faults[0].Fault.Band
+	switch r.inj.Run(faults, s).Outcome {
+	case faultinject.OutcomeSDC:
+		r.tc.sdc++
+		r.tc.w.sdc.Add(wOut)
+		r.events.Add(1)
+		if len(r.persistent) > 0 {
+			r.persistent = r.persistent[:0] // reprogram the FPGA
+			r.tc.reprograms++
+		}
+	case faultinject.OutcomeDUE:
+		r.tc.due++
+		r.tc.w.due.Add(wOut)
+		r.tc.w.dueByBand[outcomeBand].Add(wOut)
+		r.events.Add(1)
+		if len(r.persistent) > 0 {
+			r.persistent = r.persistent[:0]
+			r.tc.reprograms++
+		}
+	default:
+		r.tc.masked++
+		r.tc.w.masked.Add(wOut)
+	}
+	r.advanceCarried(wRun)
+}
+
+// advanceCarried rolls the carried likelihood weight forward after a run:
+// an empty persistent set is a regeneration point (the chain restarts
+// from a deterministic state, so history stops mattering and the carried
+// weight resets to 1); otherwise this run's draws keep influencing future
+// runs through the surviving configuration faults and their weight
+// product carries forward. Non-FPGA devices never populate persistent, so
+// their carried weight is always 1.
+func (r *shardRunner) advanceCarried(wRun float64) {
+	if len(r.persistent) == 0 {
+		r.wCarried = 1
+		return
+	}
+	r.wCarried *= wRun
+}
+
 func runShard(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda float64, events *atomic.Int64) (shardTally, error) {
 	r, err := newShardRunner(cfg, sh, pl, lambda, events)
 	if err != nil {
 		return shardTally{}, err
+	}
+	if pl.IsBiased() {
+		for i := 0; i < sh.Count; i++ {
+			r.oneRunWeighted()
+		}
+		return r.tc, nil
 	}
 	for i := 0; i < sh.Count; i++ {
 		r.oneRun()
@@ -464,9 +682,23 @@ func Merge(results []*Result) (*Result, error) {
 		Beam:         results[0].Beam,
 		FaultsByBand: map[physics.EnergyBand]int64{},
 	}
+	weighted := results[0].Weighted != nil
+	if weighted {
+		out.Weighted = &WeightedResult{
+			Bias:         results[0].Weighted.Bias,
+			UpsetsByBand: map[physics.EnergyBand]stats.Weighted{},
+			DUEByBand:    map[physics.EnergyBand]stats.Weighted{},
+		}
+	}
 	for _, r := range results {
 		if r.Device != out.Device || r.Beam != out.Beam {
 			return nil, errors.New("beam: merge requires same device and beam")
+		}
+		if (r.Weighted != nil) != weighted {
+			return nil, errors.New("beam: cannot merge biased and exact campaigns")
+		}
+		if weighted && r.Weighted.Bias != out.Weighted.Bias {
+			return nil, errors.New("beam: merge requires identical bias knobs")
 		}
 		out.Runs += r.Runs
 		out.Fluence += r.Fluence
@@ -478,8 +710,48 @@ func Merge(results []*Result) (*Result, error) {
 		for b, n := range r.FaultsByBand {
 			out.FaultsByBand[b] += n
 		}
+		if weighted {
+			out.Weighted.Draws.Merge(r.Weighted.Draws)
+			out.Weighted.SDC.Merge(r.Weighted.SDC)
+			out.Weighted.DUE.Merge(r.Weighted.DUE)
+			out.Weighted.Masked.Merge(r.Weighted.Masked)
+			for b, t := range r.Weighted.UpsetsByBand {
+				m := out.Weighted.UpsetsByBand[b]
+				m.Merge(t)
+				out.Weighted.UpsetsByBand[b] = m
+			}
+			for b, t := range r.Weighted.DUEByBand {
+				m := out.Weighted.DUEByBand[b]
+				m.Merge(t)
+				out.Weighted.DUEByBand[b] = m
+			}
+		}
 	}
 	var err error
+	if weighted {
+		// The inputs were finalized by their campaigns, so the merged
+		// sums carry no compensation residue worth keeping; finalize for
+		// the same round-trip-stable representation.
+		out.Weighted.Draws.Finalize()
+		out.Weighted.SDC.Finalize()
+		out.Weighted.DUE.Finalize()
+		out.Weighted.Masked.Finalize()
+		for b, t := range out.Weighted.UpsetsByBand {
+			t.Finalize()
+			out.Weighted.UpsetsByBand[b] = t
+		}
+		for b, t := range out.Weighted.DUEByBand {
+			t.Finalize()
+			out.Weighted.DUEByBand[b] = t
+		}
+		if out.SDCCrossSection, err = stats.EstimateWeightedRate(out.Weighted.SDC, float64(out.Fluence)); err != nil {
+			return nil, err
+		}
+		if out.DUECrossSection, err = stats.EstimateWeightedRate(out.Weighted.DUE, float64(out.Fluence)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	if out.SDCCrossSection, err = stats.EstimateRate(out.SDC, float64(out.Fluence)); err != nil {
 		return nil, err
 	}

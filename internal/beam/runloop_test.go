@@ -42,6 +42,27 @@ func TestRunLoopZeroAllocs(t *testing.T) {
 	if r.tc.interactions == 0 {
 		t.Fatal("run loop drew no interactions; the measurement exercised nothing")
 	}
+
+	// The weighted (importance-sampled) run loop shares the zero-alloc
+	// contract: the weights live in the plan's band table and the shard
+	// scratch, never on the heap.
+	bpl, err := plan.CompileBiased(cfg.Device, cfg.Beam, 20000, rng.New(1), plan.Bias{Thermal: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := newShardRunner(cfg, engine.Shard{Index: 0, Count: 1, Stream: rng.New(3)}, bpl, 2, &events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		wr.oneRunWeighted()
+	}
+	if avg := testing.AllocsPerRun(2000, wr.oneRunWeighted); avg != 0 {
+		t.Errorf("weighted run loop allocates %.2f times per run, want 0", avg)
+	}
+	if wr.tc.w.draws.N == 0 {
+		t.Fatal("weighted run loop drew no interactions; the measurement exercised nothing")
+	}
 }
 
 // TestPoissonCachedMatchesStream pins the determinism contract of the

@@ -14,6 +14,7 @@ import (
 	"neutronsim/internal/beam"
 	"neutronsim/internal/device"
 	"neutronsim/internal/fit"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/telemetry"
 	"neutronsim/internal/units"
@@ -35,6 +36,11 @@ type Budget struct {
 	// concurrently (default GOMAXPROCS). It never affects results; see
 	// internal/engine.
 	Shards int
+	// Bias opts both campaigns into importance-sampled transport with the
+	// given per-band oversampling factors (nil = exact). Results then
+	// carry weighted tallies and ESS-gated confidence intervals; see
+	// beam.Config.Bias.
+	Bias *plan.Bias
 }
 
 // DefaultBudget gives production-quality statistics (hundreds of errors
@@ -132,6 +138,7 @@ func assess(ctx context.Context, d *device.Device, workloads []string, b Budget,
 			DurationSeconds: b.FastSeconds,
 			Seed:            seed + uint64(i)*2,
 			Shards:          b.Shards,
+			Bias:            b.Bias,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%s ChipIR: %w", d.Name, wl, err)
@@ -143,6 +150,7 @@ func assess(ctx context.Context, d *device.Device, workloads []string, b Budget,
 			DurationSeconds: b.ThermalSeconds,
 			Seed:            seed + uint64(i)*2 + 1,
 			Shards:          b.Shards,
+			Bias:            b.Bias,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%s ROTAX: %w", d.Name, wl, err)

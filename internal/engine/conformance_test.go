@@ -16,8 +16,10 @@ import (
 	"neutronsim/internal/device"
 	"neutronsim/internal/materials"
 	"neutronsim/internal/memsim"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
+	"neutronsim/internal/telemetry"
 	"neutronsim/internal/transport"
 	"neutronsim/internal/units"
 	"neutronsim/internal/workload"
@@ -76,6 +78,110 @@ func TestBeamCampaignShardCountInvariance(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestBiasedCampaignShardCountInvariance extends the engine invariant to
+// importance-sampled campaigns: weighted tallies are merged in shard
+// order, so a biased campaign must be bit-identical for any worker count,
+// and the identity knob Bias{} must reproduce the exact campaign's result
+// (minus the Weighted section it adds) through the weighted code path.
+func TestBiasedCampaignShardCountInvariance(t *testing.T) {
+	devices := []*device.Device{device.K20(), device.FPGA()}
+	for _, d := range devices {
+		for _, spec := range []spectrum.Spectrum{spectrum.ChipIR(), spectrum.ROTAX()} {
+			for _, bias := range []plan.Bias{{}, {Thermal: 8}} {
+				d, spec, bias := d, spec, bias
+				t.Run(fmt.Sprintf("%s/%s/thermal=%v", d.Name, spec.Name(), bias.Thermal), func(t *testing.T) {
+					t.Parallel()
+					run := func(workers int, b *plan.Bias) *beam.Result {
+						dut := *d
+						dut.SensitiveFraction = 0.2
+						res, err := beam.RunContext(context.Background(), beam.Config{
+							Device:          &dut,
+							WorkloadName:    workload.ForDeviceKind(d.Kind.String())[0],
+							Beam:            spec,
+							DurationSeconds: 600,
+							RunSeconds:      1,
+							Seed:            99,
+							CalSamples:      2000,
+							Shards:          workers,
+							ShardGrain:      64,
+							Bias:            b,
+						})
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						return res
+					}
+					ref := run(1, &bias)
+					if ref.Weighted == nil || ref.Weighted.Draws.N == 0 {
+						t.Fatal("biased conformance campaign recorded no weighted draws; comparison is vacuous")
+					}
+					for _, workers := range workerCounts()[1:] {
+						if got := run(workers, &bias); !reflect.DeepEqual(got, ref) {
+							t.Errorf("workers=%d diverged from serial:\n got %+v\nwant %+v", workers, got, ref)
+						}
+					}
+					if bias.IsIdentity() {
+						exact := run(1, nil)
+						stripped := *ref
+						stripped.Weighted = nil
+						if !reflect.DeepEqual(&stripped, exact) {
+							t.Errorf("identity bias diverged from the exact campaign:\n got %+v\nwant %+v", &stripped, exact)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// unkeyedSpectrum hides the concrete spectrum's Fingerprint method, so
+// every campaign compiles its plan instead of hitting the shared cache —
+// which makes the calibration-draw telemetry deterministic per run.
+type unkeyedSpectrum struct{ spectrum.Spectrum }
+
+// TestBeamTelemetryCountersShardCountInvariant pins the telemetry side of
+// the conformance contract: the beam.neutrons_sampled (calibration draws)
+// and beam.neutrons_weighted (weighted interaction draws) counters must
+// grow by exactly the same amount whatever the worker count. It must not
+// run in parallel — the counters are process-global.
+func TestBeamTelemetryCountersShardCountInvariant(t *testing.T) {
+	reg := telemetry.Default
+	sampled := reg.Counter("beam.neutrons_sampled")
+	weighted := reg.Counter("beam.neutrons_weighted")
+	run := func(workers int) (int64, int64) {
+		d := device.K20()
+		d.SensitiveFraction = 0.2
+		s0, w0 := sampled.Value(), weighted.Value()
+		_, err := beam.RunContext(context.Background(), beam.Config{
+			Device:          d,
+			WorkloadName:    workload.ForDeviceKind(d.Kind.String())[0],
+			Beam:            unkeyedSpectrum{spectrum.ChipIR()},
+			DurationSeconds: 600,
+			RunSeconds:      1,
+			Seed:            12,
+			CalSamples:      2000,
+			Shards:          workers,
+			ShardGrain:      64,
+			Bias:            &plan.Bias{Thermal: 8},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return sampled.Value() - s0, weighted.Value() - w0
+	}
+	refSampled, refWeighted := run(1)
+	if refSampled == 0 || refWeighted == 0 {
+		t.Fatalf("telemetry campaign recorded no draws (sampled=%d weighted=%d)", refSampled, refWeighted)
+	}
+	for _, workers := range workerCounts()[1:] {
+		gotSampled, gotWeighted := run(workers)
+		if gotSampled != refSampled || gotWeighted != refWeighted {
+			t.Errorf("workers=%d: counter deltas (sampled=%d, weighted=%d) != serial (%d, %d)",
+				workers, gotSampled, gotWeighted, refSampled, refWeighted)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package plan
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 
 	"neutronsim/internal/device"
@@ -100,14 +101,45 @@ func (c *Cache) For(d *device.Device, sp spectrum.Spectrum, calSamples int, seed
 // coalesced or bypass) and a cache miss nests the "plan.compile" span
 // under it, so traced jobs see exactly where campaign setup time went.
 func (c *Cache) ForContext(ctx context.Context, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64) *CampaignPlan {
+	key, ok := KeyFor(d, sp, calSamples, seed)
+	return c.lookup(ctx, key, ok, func(ctx context.Context, key string) *CampaignPlan {
+		return c.timedCompile(ctx, d, sp, calSamples, seed, key)
+	})
+}
+
+// ForBiased returns the compiled plan for an importance-sampled campaign.
+// A nil bias is the exact path (For); a non-nil bias — including the
+// identity Bias{} — compiles through CompileBiased under a bias-extended
+// key (KeyForBiased), so biased and exact plans never collide and two
+// different bias knobs never share an entry. The bias must be valid
+// (Bias.Validate); callers validate at the API boundary, so an invalid
+// bias reaching the cache panics like any other impossible compile input.
+func (c *Cache) ForBiased(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, bias *Bias) *CampaignPlan {
+	return c.ForBiasedContext(context.Background(), d, sp, calSamples, seed, bias)
+}
+
+// ForBiasedContext is ForBiased with a caller context (see ForContext).
+func (c *Cache) ForBiasedContext(ctx context.Context, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, bias *Bias) *CampaignPlan {
+	if bias == nil {
+		return c.ForContext(ctx, d, sp, calSamples, seed)
+	}
+	b := *bias
+	key, ok := KeyForBiased(d, sp, calSamples, seed, b)
+	return c.lookup(ctx, key, ok, func(ctx context.Context, key string) *CampaignPlan {
+		return c.timedCompileBiased(ctx, d, sp, calSamples, seed, b, key)
+	})
+}
+
+// lookup runs the hit/coalesce/miss/bypass protocol for one key, calling
+// compile on a miss (and on bypass, with an empty key).
+func (c *Cache) lookup(ctx context.Context, key string, ok bool, compile func(context.Context, string) *CampaignPlan) *CampaignPlan {
 	ctx, span := c.reg.StartSpan(ctx, "plan.lookup")
 	span.SetStage("compile")
 	defer span.End()
-	key, ok := KeyFor(d, sp, calSamples, seed)
 	if !ok {
 		c.bypass.Add(1)
 		span.Annotate("outcome", "bypass")
-		return c.timedCompile(ctx, d, sp, calSamples, seed, "")
+		return compile(ctx, "")
 	}
 	c.mu.Lock()
 	if el, hit := c.index[key]; hit {
@@ -132,13 +164,13 @@ func (c *Cache) ForContext(ctx context.Context, d *device.Device, sp spectrum.Sp
 	c.mu.Unlock()
 	c.misses.Add(1)
 	span.Annotate("outcome", "miss")
-	return c.compileFlight(ctx, fl, d, sp, calSamples, seed, key)
+	return c.compileFlight(ctx, fl, key, compile)
 }
 
 // compileFlight compiles for the flight's waiters and settles the cache
 // entry. The deferred settlement runs even if Compile panics, so waiters
 // never block forever and the panic propagates to every caller.
-func (c *Cache) compileFlight(ctx context.Context, fl *flight, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, key string) *CampaignPlan {
+func (c *Cache) compileFlight(ctx context.Context, fl *flight, key string, compile func(context.Context, string) *CampaignPlan) *CampaignPlan {
 	defer func() {
 		if r := recover(); r != nil {
 			fl.panicked = r
@@ -149,7 +181,7 @@ func (c *Cache) compileFlight(ctx context.Context, fl *flight, d *device.Device,
 			panic(r)
 		}
 	}()
-	pl := c.timedCompile(ctx, d, sp, calSamples, seed, key)
+	pl := compile(ctx, key)
 	fl.plan = pl
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -168,6 +200,23 @@ func (c *Cache) timedCompile(ctx context.Context, d *device.Device, sp spectrum.
 	_, span := c.reg.StartSpan(ctx, "plan.compile")
 	t := telemetry.StartTimer(c.compile)
 	pl := Compile(d, sp, calSamples, CalibrationStream(seed))
+	pl.key = key
+	t.ObserveDuration()
+	span.End()
+	return pl
+}
+
+// timedCompileBiased is timedCompile for importance-sampled plans. The
+// bias was validated at the API boundary (beam.Config.validate, the
+// neutrond request normalizer), so a compile error here is a programming
+// error and panics — same contract as the alias-table build in Compile.
+func (c *Cache) timedCompileBiased(ctx context.Context, d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64, bias Bias, key string) *CampaignPlan {
+	_, span := c.reg.StartSpan(ctx, "plan.compile")
+	t := telemetry.StartTimer(c.compile)
+	pl, err := CompileBiased(d, sp, calSamples, CalibrationStream(seed), bias)
+	if err != nil {
+		panic(fmt.Sprintf("plan: compile biased plan: %v", err))
+	}
 	pl.key = key
 	t.ObserveDuration()
 	span.End()

@@ -16,9 +16,11 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"math"
 
 	"neutronsim/internal/device"
+	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/units"
@@ -32,6 +34,17 @@ type CampaignPlan struct {
 	key   string
 	meanP float64
 	slots []slot
+
+	// Importance-sampling extension (CompileBiased). biased is the alias
+	// table over the band-biased calibration weights — nil for exact
+	// plans — and bandW[b] is the likelihood weight every draw landing in
+	// band b carries: S'/(S·factor(b)), where S and S' are the exact and
+	// biased calibration mass. The weight depends only on the band, so
+	// the weighted draw needs no per-slot storage beyond the exact
+	// 32-byte layout.
+	biased []slot
+	bandW  [physics.NumBands + 1]float64
+	bias   Bias
 }
 
 // slot is one fused alias slot: accept keeps self, reject takes the
@@ -74,9 +87,21 @@ const keyVersion = "plan/v1\x00"
 // Qcrit, workload, duration, derating — are deliberately absent, so
 // near-duplicate campaigns share one plan.
 func KeyFor(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64) (string, bool) {
-	fp, ok := sp.(Fingerprinted)
+	h, ok := keyHash(d, sp, calSamples, seed)
 	if !ok {
 		return "", false
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// keyHash hashes the shared (device physics, spectrum, cal budget, seed)
+// key material. KeyFor finalizes it directly; KeyForBiased appends the
+// bias factors first, so an exact plan and any biased plan can never
+// collide and pre-bias cache keys are unchanged.
+func keyHash(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64) (hash.Hash, bool) {
+	fp, ok := sp.(Fingerprinted)
+	if !ok {
+		return nil, false
 	}
 	h := sha256.New()
 	h.Write([]byte(keyVersion))
@@ -91,7 +116,7 @@ func KeyFor(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64)
 	writeU64(math.Float64bits(d.SensitiveFraction))
 	writeU64(uint64(calSamples))
 	writeU64(seed)
-	return hex.EncodeToString(h.Sum(nil)), true
+	return h, true
 }
 
 // Compile runs the Monte Carlo calibration and builds the plan: n energies
@@ -103,6 +128,19 @@ func KeyFor(d *device.Device, sp spectrum.Spectrum, calSamples int, seed uint64)
 // both meanP and the table. The caller owns cal only during the call; the
 // returned plan holds no reference to it.
 func Compile(d *device.Device, sp spectrum.Spectrum, n int, cal *rng.Stream) *CampaignPlan {
+	energies, weights, sum := calibrate(d, sp, n, cal)
+	return &CampaignPlan{
+		slots: buildSlots(energies, weights, sum),
+		meanP: sum / float64(n),
+	}
+}
+
+// calibrate draws the n calibration energies and their interaction
+// probabilities, Kahan-summing the probability mass. It is the shared
+// front half of Compile and CompileBiased — both consume the stream
+// identically, which is what makes a zero-bias plan's exact table
+// bit-identical to an unbiased plan's.
+func calibrate(d *device.Device, sp spectrum.Spectrum, n int, cal *rng.Stream) ([]units.Energy, []float64, float64) {
 	energies := make([]units.Energy, n)
 	weights := make([]float64, n)
 	var sum, comp float64
@@ -116,17 +154,19 @@ func Compile(d *device.Device, sp spectrum.Spectrum, n int, cal *rng.Stream) *Ca
 		comp = (t - sum) - y
 		sum = t
 	}
-	p := &CampaignPlan{
-		slots: make([]slot, n),
-		meanP: sum / float64(n),
-	}
+	return energies, weights, sum
+}
+
+// buildSlots fuses an alias table over weights into 32-byte slots. A
+// non-positive total falls back to uniform selection over the calibration
+// energies (prob 1 ⇒ always self), the degenerate nothing-interacts case.
+func buildSlots(energies []units.Energy, weights []float64, sum float64) []slot {
+	slots := make([]slot, len(energies))
 	if sum <= 0 {
-		// Degenerate calibration: nothing interacts. Fall back to uniform
-		// selection over the calibration energies (prob 1 ⇒ always self).
-		for i := range p.slots {
-			p.slots[i] = slot{prob: 1, self: energies[i], alias: energies[i]}
+		for i := range slots {
+			slots[i] = slot{prob: 1, self: energies[i], alias: energies[i]}
 		}
-		return p
+		return slots
 	}
 	at, err := rng.NewAliasTable(weights)
 	if err != nil {
@@ -134,11 +174,11 @@ func Compile(d *device.Device, sp spectrum.Spectrum, n int, cal *rng.Stream) *Ca
 		// and sum > 0 was checked above.
 		panic(fmt.Sprintf("plan: alias table over interaction probabilities: %v", err))
 	}
-	for i := range p.slots {
+	for i := range slots {
 		pr, a := at.Slot(i)
-		p.slots[i] = slot{prob: pr, self: energies[i], alias: energies[a]}
+		slots[i] = slot{prob: pr, self: energies[i], alias: energies[a]}
 	}
-	return p
+	return slots
 }
 
 // Key returns the plan's cache key, or "" for plans compiled outside the
@@ -188,6 +228,20 @@ func (p *CampaignPlan) Checksum() string {
 		writeF64(p.slots[i].prob)
 		writeF64(float64(p.slots[i].self))
 		writeF64(float64(p.slots[i].alias))
+	}
+	if p.biased != nil {
+		// Biased extension appended after the exact stream, so exact
+		// plans checksum exactly as before and a biased plan can never
+		// checksum-collide with its exact counterpart.
+		h.Write([]byte("bias\x00"))
+		for _, w := range p.bandW {
+			writeF64(w)
+		}
+		for i := range p.biased {
+			writeF64(p.biased[i].prob)
+			writeF64(float64(p.biased[i].self))
+			writeF64(float64(p.biased[i].alias))
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -20,6 +20,7 @@ import (
 
 	"neutronsim/internal/device"
 	"neutronsim/internal/memsim"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/workload"
 )
@@ -56,6 +57,12 @@ type BeamParams struct {
 	Derating        float64 `json:"derating,omitempty"`
 	CalSamples      int     `json:"cal_samples,omitempty"`
 	ShardGrain      int     `json:"shard_grain,omitempty"`
+	// Bias opts the campaign into importance-sampled (weighted) transport:
+	// per-band oversampling factors, with likelihood-weighted tallies in
+	// the result's weighted section. Absent means exact; present — even
+	// empty — routes the weighted code path, so the two spellings have
+	// distinct cache keys on purpose (they return different result shapes).
+	Bias *plan.Bias `json:"bias,omitempty"`
 }
 
 // AssessParams describes a full device assessment (core.AssessContext).
@@ -91,6 +98,9 @@ type TransportParams struct {
 	MonoEV      float64     `json:"mono_ev,omitempty"` // monoenergetic source instead of Source
 	ForwardBias float64     `json:"forward_bias,omitempty"`
 	ShardGrain  int         `json:"shard_grain,omitempty"`
+	// ImplicitCapture selects weighted (non-analog) transport: continuous
+	// absorption with Russian roulette, weighted tallies in the result.
+	ImplicitCapture bool `json:"implicit_capture,omitempty"`
 }
 
 // SlabParam is one homogeneous layer of a transport geometry.
@@ -207,6 +217,13 @@ func (n *CampaignRequest) normalizeBeam(p *BeamParams) error {
 	}
 	if b.ShardGrain == 0 {
 		b.ShardGrain = defaultBeamGrain
+	}
+	if b.Bias != nil {
+		if err := b.Bias.Validate(); err != nil {
+			return err
+		}
+		bias := *b.Bias
+		b.Bias = &bias
 	}
 	n.Beam = &b
 	return nil

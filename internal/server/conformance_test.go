@@ -13,6 +13,7 @@ import (
 
 	"neutronsim/internal/beam"
 	"neutronsim/internal/memsim"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
 	"neutronsim/internal/telemetry"
@@ -180,6 +181,140 @@ func TestConformanceBeamHTTP(t *testing.T) {
 				t.Errorf("%s/%s: ETag %q does not match body", devName, spName, resp2.Header.Get("ETag"))
 			}
 		}
+	}
+}
+
+// TestConformanceBiasedBeamHTTP extends the HTTP conformance gate to
+// importance-sampled campaigns: a biased request must DeepEqual the
+// direct library call after a JSON round trip — which is exactly the
+// finalized-Kahan guarantee of stats.Weighted — and exact, identity-bias
+// and biased spellings of the same campaign must occupy distinct cache
+// entries.
+func TestConformanceBiasedBeamHTTP(t *testing.T) {
+	srv := New(Config{Workers: 2, Registry: telemetry.NewRegistry()})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	base := func(bias *plan.Bias) *CampaignRequest {
+		return &CampaignRequest{
+			Kind: KindBeam,
+			Seed: 77,
+			Beam: &BeamParams{
+				Device:          "Zynq7000",
+				Workload:        "MxM",
+				Spectrum:        "ChipIR",
+				DurationSeconds: 2,
+				CalSamples:      2000,
+				Bias:            bias,
+			},
+		}
+	}
+	info := submitAndAwait(t, ts, base(&plan.Bias{Thermal: 50}))
+	if info.State != StateDone {
+		t.Fatalf("biased job ended %s: %s", info.State, info.Error)
+	}
+	var env ResultEnvelope
+	if err := json.Unmarshal(info.Result, &env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Beam == nil || env.Beam.Weighted == nil {
+		t.Fatal("biased campaign result carries no weighted section over HTTP")
+	}
+	d, _ := DeviceByName("Zynq7000")
+	sp, _ := SpectrumByName("ChipIR")
+	direct, err := beam.RunContext(context.Background(), beam.Config{
+		Device:          d,
+		WorkloadName:    "MxM",
+		Beam:            sp,
+		DurationSeconds: 2,
+		Derating:        1,
+		Seed:            77,
+		CalSamples:      2000,
+		ShardGrain:      defaultBeamGrain,
+		Bias:            &plan.Bias{Thermal: 50},
+	})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if !reflect.DeepEqual(env.Beam, direct) {
+		t.Errorf("HTTP biased result differs from direct library call\nhttp:   %+v\ndirect: %+v", env.Beam, direct)
+	}
+
+	// The three spellings are three campaigns: distinct cache keys.
+	keys := map[string]string{}
+	for name, req := range map[string]*CampaignRequest{
+		"exact":    base(nil),
+		"identity": base(&plan.Bias{}),
+		"biased":   base(&plan.Bias{Thermal: 50}),
+	} {
+		norm, err := req.Normalize()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		k := norm.CacheKey()
+		for prev, pk := range keys {
+			if pk == k {
+				t.Errorf("%s and %s share a cache key", name, prev)
+			}
+		}
+		keys[name] = k
+	}
+
+	// Invalid bias factors are rejected at submission, not at run time.
+	resp, body := postCampaign(t, ts, base(&plan.Bias{Thermal: -2}), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative bias factor: status %d (%s), want 400", resp.StatusCode, body)
+	}
+}
+
+// TestConformanceImplicitCaptureHTTP round-trips a weighted transport
+// campaign: the implicit_capture knob reaches the simulator, the weighted
+// tallies survive JSON, and the knob is part of the cache key.
+func TestConformanceImplicitCaptureHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1, Registry: telemetry.NewRegistry()})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := &CampaignRequest{
+		Kind: KindTransport,
+		Seed: 9,
+		Transport: &TransportParams{
+			Slabs:           []SlabParam{{Material: "water", ThicknessCm: 5.08}},
+			Neutrons:        5000,
+			Source:          "ChipIR",
+			ImplicitCapture: true,
+		},
+	}
+	info := submitAndAwait(t, ts, req)
+	if info.State != StateDone {
+		t.Fatalf("implicit-capture job ended %s: %s", info.State, info.Error)
+	}
+	var env ResultEnvelope
+	if err := json.Unmarshal(info.Result, &env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Transport == nil || env.Transport.Weighted == nil {
+		t.Fatal("implicit-capture result carries no weighted section over HTTP")
+	}
+	if env.Transport.Weighted.Absorbed.SumW <= 0 {
+		t.Error("weighted absorption did not survive the JSON round trip")
+	}
+	analog := *req
+	tp := *req.Transport
+	tp.ImplicitCapture = false
+	analog.Transport = &tp
+	na, err := analog.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.CacheKey() == nw.CacheKey() {
+		t.Error("implicit_capture does not move the transport cache key")
 	}
 }
 

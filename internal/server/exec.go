@@ -64,6 +64,7 @@ func execBeam(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnv
 		CalSamples:      p.CalSamples,
 		Shards:          shards,
 		ShardGrain:      p.ShardGrain,
+		Bias:            p.Bias,
 	})
 	if err != nil {
 		return nil, err
@@ -142,9 +143,10 @@ func execTransport(ctx context.Context, req *CampaignRequest, shards int) (*Resu
 		source = sp.Sample
 	}
 	res, err := transport.SimulateContext(ctx, slabs, p.Neutrons, source, rng.New(req.Seed), transport.Options{
-		ForwardBias: p.ForwardBias,
-		Shards:      shards,
-		ShardGrain:  p.ShardGrain,
+		ForwardBias:     p.ForwardBias,
+		Shards:          shards,
+		ShardGrain:      p.ShardGrain,
+		ImplicitCapture: p.ImplicitCapture,
 	})
 	if err != nil {
 		return nil, err

@@ -120,12 +120,11 @@ func PoissonConfidence(count int64, confidence float64) PoissonCI {
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
 	}
-	alpha := 1 - confidence
 	ci := PoissonCI{Count: count, Confidence: confidence}
-	if count > 0 {
-		ci.Lower = chiSquaredQuantile(alpha/2, 2*float64(count)) / 2
-	}
-	ci.Upper = chiSquaredQuantile(1-alpha/2, 2*float64(count)+2) / 2
+	// Shared with the weighted estimators (PoissonBoundsFloat) so an
+	// integer count and the same count arriving as a float ESS produce
+	// bit-identical bounds.
+	ci.Lower, ci.Upper = PoissonBoundsFloat(float64(count), confidence)
 	return ci
 }
 

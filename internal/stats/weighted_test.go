@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// testWeights builds a deterministic but irregular weight sequence mixing
+// tiny and large values — the shape biased campaigns actually produce —
+// without pulling a random source into the stats package's tests.
+func testWeights(n int, seed uint64) []float64 {
+	ws := make([]float64, n)
+	x := seed*2862933555777941757 + 3037000493
+	for i := range ws {
+		x = x*2862933555777941757 + 3037000493
+		u := float64(x>>11) / (1 << 53)
+		// Log-uniform over about four decades, centered near 1.
+		ws[i] = math.Exp((u - 0.5) * 9)
+	}
+	return ws
+}
+
+// naiveSums accumulates without compensation, in long double-free Go: the
+// reference the Kahan sums must stay close to.
+func naiveSums(ws []float64) (sum, sum2 float64) {
+	for _, w := range ws {
+		sum += w
+		sum2 += w * w
+	}
+	return sum, sum2
+}
+
+// TestWeightedConservation pins the weights-conservation property: for
+// unit weights the sums equal the count exactly, and for arbitrary
+// weights the compensated sums track a naive reference within floating
+// rounding.
+func TestWeightedConservation(t *testing.T) {
+	var unit Weighted
+	for i := 0; i < 100000; i++ {
+		unit.Add(1)
+	}
+	unit.Finalize()
+	if unit.SumW != float64(unit.N) || unit.SumW2 != float64(unit.N) {
+		t.Errorf("unit weights: sums (%v, %v) != count %d exactly", unit.SumW, unit.SumW2, unit.N)
+	}
+	if ess := unit.ESS(); ess != float64(unit.N) {
+		t.Errorf("unit weights: ESS %v != N %d exactly", ess, unit.N)
+	}
+
+	ws := testWeights(50000, 7)
+	var tally Weighted
+	for _, w := range ws {
+		tally.Add(w)
+	}
+	refSum, refSum2 := naiveSums(ws)
+	if rel := math.Abs(tally.Sum()-refSum) / refSum; rel > 1e-12 {
+		t.Errorf("weight sum %v vs reference %v: relative error %v", tally.Sum(), refSum, rel)
+	}
+	if rel := math.Abs(tally.SumSquares()-refSum2) / refSum2; rel > 1e-12 {
+		t.Errorf("squared sum %v vs reference %v: relative error %v", tally.SumSquares(), refSum2, rel)
+	}
+}
+
+// TestWeightedESSBounds pins ESS ∈ (0, n] across weight shapes, and the
+// two edges: equal weights give ESS = n, one dominant weight drives ESS
+// toward 1.
+func TestWeightedESSBounds(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		var tally Weighted
+		ws := testWeights(10000, seed)
+		for _, w := range ws {
+			tally.Add(w)
+		}
+		ess := tally.ESS()
+		if !(ess > 0 && ess <= float64(tally.N)) {
+			t.Errorf("seed %d: ESS %v outside (0, %d]", seed, ess, tally.N)
+		}
+	}
+	var equal Weighted
+	for i := 0; i < 1000; i++ {
+		equal.Add(0.25)
+	}
+	if ess := equal.ESS(); math.Abs(ess-1000) > 1e-9 {
+		t.Errorf("equal weights: ESS %v, want 1000", ess)
+	}
+	var skew Weighted
+	skew.Add(1e12)
+	for i := 0; i < 1000; i++ {
+		skew.Add(1e-6)
+	}
+	if ess := skew.ESS(); ess >= 1.01 {
+		t.Errorf("dominated tally: ESS %v, want ≈ 1", ess)
+	}
+	if (Weighted{}).ESS() != 0 {
+		t.Error("empty tally: ESS must be 0")
+	}
+}
+
+// TestWeightedMergeAssociativity re-splits one event sequence into the
+// shard counts the engine actually uses and asserts every split merges to
+// the same totals within rounding. Kahan summation is not bit-associative,
+// so the bound is a relative tolerance, not equality — the engine gets
+// bit-identical results by fixing the merge order, not by this property.
+func TestWeightedMergeAssociativity(t *testing.T) {
+	ws := testWeights(30000, 11)
+	splits := []int{1, 2, 7, 16}
+	var ref Weighted
+	for _, w := range ws {
+		ref.Add(w)
+	}
+	ref.Finalize()
+	for _, shards := range splits {
+		var total Weighted
+		for s := 0; s < shards; s++ {
+			var part Weighted
+			for i := s; i < len(ws); i += shards {
+				part.Add(ws[i])
+			}
+			total.Merge(part)
+		}
+		total.Finalize()
+		if total.N != ref.N {
+			t.Fatalf("%d shards: merged N %d != %d", shards, total.N, ref.N)
+		}
+		if rel := math.Abs(total.SumW-ref.SumW) / ref.SumW; rel > 1e-12 {
+			t.Errorf("%d shards: merged sum %v vs %v (rel %v)", shards, total.SumW, ref.SumW, rel)
+		}
+		if rel := math.Abs(total.SumW2-ref.SumW2) / ref.SumW2; rel > 1e-12 {
+			t.Errorf("%d shards: merged sum² %v vs %v (rel %v)", shards, total.SumW2, ref.SumW2, rel)
+		}
+	}
+}
+
+// TestWeightedFinalizeRoundTrip asserts Finalize publishes exactly the
+// compensated totals — the value Sum() was already reporting — and that a
+// finalized tally is a fixed point (the JSON round-trip guarantee: the
+// exported fields alone carry the full state).
+func TestWeightedFinalizeRoundTrip(t *testing.T) {
+	var tally Weighted
+	for _, w := range testWeights(20000, 3) {
+		tally.Add(w)
+	}
+	wantSum, wantSum2 := tally.Sum(), tally.SumSquares()
+	tally.Finalize()
+	if tally.SumW != wantSum || tally.SumW2 != wantSum2 {
+		t.Errorf("Finalize changed the compensated totals: (%v, %v) vs (%v, %v)",
+			tally.SumW, tally.SumW2, wantSum, wantSum2)
+	}
+	roundTripped := Weighted{N: tally.N, SumW: tally.SumW, SumW2: tally.SumW2}
+	if roundTripped.Sum() != tally.Sum() || roundTripped.ESS() != tally.ESS() {
+		t.Error("exported fields do not reproduce the finalized tally")
+	}
+	again := tally
+	again.Finalize()
+	if again != tally {
+		t.Error("Finalize is not a fixed point on a finalized tally")
+	}
+}
+
+// TestEstimateWeightedRateUnitIdentity pins the CI identity: a unit-weight
+// tally must produce bit-for-bit the interval EstimateRate computes for
+// the same integer count — this is what lets the zero-bias campaign
+// publish identical cross sections through the weighted path.
+func TestEstimateWeightedRateUnitIdentity(t *testing.T) {
+	for _, n := range []int64{0, 1, 2, 17, 400} {
+		var tally Weighted
+		for i := int64(0); i < n; i++ {
+			tally.Add(1)
+		}
+		tally.Finalize()
+		const exposure = 3.5e9
+		got, err := EstimateWeightedRate(tally, exposure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EstimateRate(n, exposure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("n=%d: weighted estimate %+v != exact estimate %+v", n, got, want)
+		}
+	}
+}
+
+// TestPoissonBoundsFloatMatchesPoissonConfidence asserts the fractional
+// Garwood bounds reduce to PoissonConfidence arithmetic at integer
+// counts, and behave sanely between them (monotone, finite).
+func TestPoissonBoundsFloatMatchesPoissonConfidence(t *testing.T) {
+	for _, n := range []int64{0, 1, 5, 100, 10000} {
+		lower, upper := PoissonBoundsFloat(float64(n), 0.95)
+		ci := PoissonConfidence(n, 0.95)
+		if lower != ci.Lower || upper != ci.Upper {
+			t.Errorf("n=%d: float bounds (%v, %v) != integer bounds (%v, %v)",
+				n, lower, upper, ci.Lower, ci.Upper)
+		}
+	}
+	prevLower, prevUpper := PoissonBoundsFloat(0, 0.95)
+	for c := 0.5; c <= 20; c += 0.5 {
+		lower, upper := PoissonBoundsFloat(c, 0.95)
+		if !(lower >= prevLower && upper > prevUpper) {
+			t.Errorf("count %v: bounds (%v, %v) not monotone after (%v, %v)", c, lower, upper, prevLower, prevUpper)
+		}
+		if math.IsNaN(lower) || math.IsInf(upper, 0) {
+			t.Errorf("count %v: degenerate bounds (%v, %v)", c, lower, upper)
+		}
+		prevLower, prevUpper = lower, upper
+	}
+	if l, u := PoissonBoundsFloat(-1, 0.95); !math.IsNaN(l) || !math.IsNaN(u) {
+		t.Errorf("negative count: bounds (%v, %v), want NaN", l, u)
+	}
+	if l, u := PoissonBoundsFloat(math.NaN(), 0.95); !math.IsNaN(l) || !math.IsNaN(u) {
+		t.Errorf("NaN count: bounds (%v, %v), want NaN", l, u)
+	}
+}

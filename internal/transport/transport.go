@@ -20,6 +20,7 @@ import (
 	"neutronsim/internal/materials"
 	"neutronsim/internal/physics"
 	"neutronsim/internal/rng"
+	"neutronsim/internal/stats"
 	"neutronsim/internal/telemetry"
 	"neutronsim/internal/units"
 )
@@ -59,6 +60,15 @@ func (f Fate) String() string {
 }
 
 // Tally accumulates the outcome statistics of a transport run.
+//
+// In the default analog mode every field is a raw history count. Under
+// Options.ImplicitCapture the integer fields still count histories by
+// their terminal fate — a history ends by escaping, losing the Russian
+// roulette, or exceeding the collision bound — while the physical
+// estimates (what fraction of the incident flux transmits, reflects, or
+// is captured, and where) move to the Weighted section, because each
+// history then carries a survival weight rather than a life-or-death
+// absorption draw.
 type Tally struct {
 	Incident    int
 	Transmitted map[physics.EnergyBand]int
@@ -69,6 +79,45 @@ type Tally struct {
 	AbsorbedByElement map[string]int
 	Collisions        int64
 	Lost              int
+	// Weighted carries the likelihood-weighted estimates of an
+	// implicit-capture run and is nil in analog mode.
+	Weighted *TransportWeights `json:",omitempty"`
+}
+
+// TransportWeights is the weighted side of an implicit-capture tally:
+// exit channels weighted by the history's survival weight at escape, and
+// absorption tallied continuously — every collision deposits
+// weight × P(absorb), apportioned across the material's elements by their
+// macroscopic absorption share — instead of by terminal capture draws.
+// The weighted sums estimate exactly the counts an analog run tallies, so
+// TransmittedWeight/Incident is the analog transmission fraction with
+// (usually much) lower variance in absorbing geometries.
+type TransportWeights struct {
+	Transmitted       map[physics.EnergyBand]stats.Weighted `json:"transmitted"`
+	Reflected         map[physics.EnergyBand]stats.Weighted `json:"reflected"`
+	Absorbed          stats.Weighted                        `json:"absorbed"`
+	AbsorbedByElement map[string]stats.Weighted             `json:"absorbed_by_element"`
+	// RouletteKills counts histories terminated by the Russian roulette
+	// that bounds how far a survival weight can decay.
+	RouletteKills int64 `json:"roulette_kills"`
+}
+
+// TransmittedWeight sums the weighted transmissions over all bands.
+func (w *TransportWeights) TransmittedWeight() float64 {
+	total := 0.0
+	for _, t := range w.Transmitted {
+		total += t.SumW
+	}
+	return total
+}
+
+// ReflectedWeight sums the weighted reflections over all bands.
+func (w *TransportWeights) ReflectedWeight() float64 {
+	total := 0.0
+	for _, t := range w.Reflected {
+		total += t.SumW
+	}
+	return total
 }
 
 func newTally() *Tally {
@@ -131,7 +180,21 @@ type Options struct {
 	// 16384). Like the caller's stream, it is part of the deterministic
 	// schedule: changing it re-partitions the campaign.
 	ShardGrain int
+	// ImplicitCapture switches the walk to weighted (non-analog)
+	// transport: instead of killing a history on an absorption draw, every
+	// collision multiplies the history's weight by its survival
+	// probability and deposits the absorbed weight into the weighted
+	// tally. A Russian roulette below rouletteThreshold keeps the walk
+	// finite — survivors double their weight, so the estimator stays
+	// unbiased. The analog integer tallies then count histories, and the
+	// physical fractions come from Tally.Weighted.
+	ImplicitCapture bool
 }
+
+// rouletteThreshold is the survival weight below which an
+// implicit-capture history plays Russian roulette (survive with
+// probability ½, doubling the weight).
+const rouletteThreshold = 1e-3
 
 // defaultShardGrain is the number of source neutrons per engine shard.
 const defaultShardGrain = 16384
@@ -208,8 +271,15 @@ func SimulateContext(ctx context.Context, slabs []Slab, n int, source func(*rng.
 		t := newTally()
 		t.Incident = sh.Count
 		tt := &trackTally{absorbedBy: map[string]int{}}
-		for i := 0; i < sh.Count; i++ {
-			trackOne(slabs, bounds, source(sh.Stream), sh.Stream, kT, tt, opts)
+		if opts.ImplicitCapture {
+			tt.w = &weightedTrack{absorbedBy: map[string]*stats.Weighted{}}
+			for i := 0; i < sh.Count; i++ {
+				trackOneWeighted(slabs, bounds, source(sh.Stream), sh.Stream, kT, tt, opts)
+			}
+		} else {
+			for i := 0; i < sh.Count; i++ {
+				trackOne(slabs, bounds, source(sh.Stream), sh.Stream, kT, tt, opts)
+			}
 		}
 		tt.fold(t)
 		return t, nil
@@ -218,15 +288,22 @@ func SimulateContext(ctx context.Context, slabs []Slab, n int, source func(*rng.
 		return nil, err
 	}
 	tally := newTally()
+	// Shard order: weighted merges are Kahan sums, which are only
+	// deterministic for a fixed fold order (engine.Map returns tallies in
+	// shard order regardless of worker scheduling).
 	for _, t := range tallies {
 		tally.merge(t)
 	}
+	tally.finalizeWeighted()
 	reg := telemetry.Default
 	reg.Counter("transport.neutrons").Add(int64(n))
 	reg.Counter("transport.collisions").Add(tally.Collisions)
 	reg.Counter("transport.absorbed").Add(int64(tally.Absorbed))
 	reg.Counter("transport.transmitted").Add(int64(tally.TransmittedTotal()))
 	reg.Counter("transport.reflected").Add(int64(tally.ReflectedTotal()))
+	if tally.Weighted != nil {
+		reg.Counter("transport.roulette_kills").Add(tally.Weighted.RouletteKills)
+	}
 	return tally, nil
 }
 
@@ -246,6 +323,56 @@ func (t *Tally) merge(o *Tally) {
 	for e, n := range o.AbsorbedByElement {
 		t.AbsorbedByElement[e] += n
 	}
+	if o.Weighted != nil {
+		if t.Weighted == nil {
+			t.Weighted = &TransportWeights{
+				Transmitted:       map[physics.EnergyBand]stats.Weighted{},
+				Reflected:         map[physics.EnergyBand]stats.Weighted{},
+				AbsorbedByElement: map[string]stats.Weighted{},
+			}
+		}
+		w := t.Weighted
+		w.Absorbed.Merge(o.Weighted.Absorbed)
+		w.RouletteKills += o.Weighted.RouletteKills
+		for b, ot := range o.Weighted.Transmitted {
+			cur := w.Transmitted[b]
+			cur.Merge(ot)
+			w.Transmitted[b] = cur
+		}
+		for b, ot := range o.Weighted.Reflected {
+			cur := w.Reflected[b]
+			cur.Merge(ot)
+			w.Reflected[b] = cur
+		}
+		for e, ot := range o.Weighted.AbsorbedByElement {
+			cur := w.AbsorbedByElement[e]
+			cur.Merge(ot)
+			w.AbsorbedByElement[e] = cur
+		}
+	}
+}
+
+// finalizeWeighted folds the Kahan compensation terms of every weighted
+// tally into the exported sums before the result is published (the JSON
+// round-trip guarantee of stats.Weighted).
+func (t *Tally) finalizeWeighted() {
+	if t.Weighted == nil {
+		return
+	}
+	w := t.Weighted
+	w.Absorbed.Finalize()
+	for b, wt := range w.Transmitted {
+		wt.Finalize()
+		w.Transmitted[b] = wt
+	}
+	for b, wt := range w.Reflected {
+		wt.Finalize()
+		w.Reflected[b] = wt
+	}
+	for e, wt := range w.AbsorbedByElement {
+		wt.Finalize()
+		w.AbsorbedByElement[e] = wt
+	}
 }
 
 // trackTally is the shard-local tally trackOne updates. Per-band exit
@@ -259,6 +386,21 @@ type trackTally struct {
 	transmitted [physics.NumBands + 1]int
 	reflected   [physics.NumBands + 1]int
 	absorbedBy  map[string]int
+	// w is the weighted side of an implicit-capture shard, nil in analog
+	// mode.
+	w *weightedTrack
+}
+
+// weightedTrack is the shard-local weighted tally of an implicit-capture
+// walk. Per-band exit tallies are fixed arrays for the same reason as
+// trackTally's; the per-element absorption map holds pointers so the hot
+// loop updates in place.
+type weightedTrack struct {
+	transmitted   [physics.NumBands + 1]stats.Weighted
+	reflected     [physics.NumBands + 1]stats.Weighted
+	absorbed      stats.Weighted
+	absorbedBy    map[string]*stats.Weighted
+	rouletteKills int64
 }
 
 func (tt *trackTally) fold(t *Tally) {
@@ -276,6 +418,28 @@ func (tt *trackTally) fold(t *Tally) {
 	for e, n := range tt.absorbedBy {
 		t.AbsorbedByElement[e] += n
 	}
+	if tt.w == nil {
+		return
+	}
+	w := &TransportWeights{
+		Transmitted:       map[physics.EnergyBand]stats.Weighted{},
+		Reflected:         map[physics.EnergyBand]stats.Weighted{},
+		Absorbed:          tt.w.absorbed,
+		AbsorbedByElement: map[string]stats.Weighted{},
+		RouletteKills:     tt.w.rouletteKills,
+	}
+	for b := 1; b < len(tt.w.transmitted); b++ {
+		if wt := tt.w.transmitted[b]; wt.N != 0 {
+			w.Transmitted[physics.EnergyBand(b)] = wt
+		}
+		if wt := tt.w.reflected[b]; wt.N != 0 {
+			w.Reflected[physics.EnergyBand(b)] = wt
+		}
+	}
+	for e, wt := range tt.w.absorbedBy {
+		w.AbsorbedByElement[e] = *wt
+	}
+	t.Weighted = w
 }
 
 func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT float64, tally *trackTally, opts Options) {
@@ -349,6 +513,122 @@ func trackOne(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT 
 	}
 	tally.lost++
 	tally.absorbed++ // a lost neutron has certainly thermalized and died
+}
+
+// trackOneWeighted is the implicit-capture walk: the same free flights,
+// boundary crossings and scattering as trackOne, but absorption is
+// continuous — every collision deposits weight × P(absorb) into the
+// weighted absorption tallies (apportioned over the material's elements
+// by their macroscopic absorption share, no extra random draws) and the
+// history survives with its weight reduced by the survival probability.
+// A Russian roulette terminates histories whose weight decays below
+// rouletteThreshold, doubling the survivors' weight so every tally stays
+// an unbiased estimate of its analog counterpart.
+func trackOneWeighted(slabs []Slab, bounds []float64, e units.Energy, s *rng.Stream, kT float64, tally *trackTally, opts Options) {
+	x := 0.0
+	mu := 1.0
+	wt := 1.0
+	slab := 0
+	back := bounds[len(bounds)-1]
+	w := tally.w
+	for c := 0; c < maxCollisions; c++ {
+		if float64(e) < kT {
+			e = units.Energy(s.MaxwellEnergy(kT))
+		}
+		m := slabs[slab].Material
+		sigmaT := m.MacroTotal(e)
+		var flight float64
+		if sigmaT <= 0 {
+			flight = math.Inf(1)
+		} else {
+			flight = s.Exponential(sigmaT)
+		}
+		var boundaryX float64
+		if mu > 0 {
+			boundaryX = bounds[slab+1]
+		} else {
+			boundaryX = bounds[slab]
+		}
+		pathToBoundary := (boundaryX - x) / mu
+		if flight >= pathToBoundary {
+			x = boundaryX
+			if mu > 0 {
+				slab++
+				if x >= back || slab >= len(slabs) {
+					b := physics.Classify(e)
+					tally.transmitted[b]++
+					w.transmitted[b].Add(wt)
+					return
+				}
+			} else {
+				slab--
+				if x <= 0 || slab < 0 {
+					b := physics.Classify(e)
+					tally.reflected[b]++
+					w.reflected[b].Add(wt)
+					return
+				}
+			}
+			continue
+		}
+		x += flight * mu
+		tally.collisions++
+		if pAbs := m.AbsorptionProbability(e); pAbs > 0 {
+			wAbs := wt * pAbs
+			w.absorbed.Add(wAbs)
+			depositAbsorbed(w.absorbedBy, m, e, wAbs)
+			wt *= 1 - pAbs
+		}
+		if wt < rouletteThreshold {
+			if s.Bernoulli(0.5) {
+				wt *= 2
+			} else {
+				w.rouletteKills++
+				tally.absorbed++ // history terminated inside the geometry
+				return
+			}
+		}
+		nucleus := m.SampleScatterer(s)
+		e = physics.ScatterEnergy(e, nucleus.A, s)
+		for {
+			mu = s.Float64()
+			if mu == 0 {
+				continue
+			}
+			if !s.Bernoulli(0.5 + opts.ForwardBias/2) {
+				mu = -mu
+			}
+			break
+		}
+	}
+	tally.lost++
+	tally.absorbed++
+	// The bound cut discards the history's remaining weight; maxCollisions
+	// is far beyond any physical walk, so the truncation bias is nil in
+	// practice and Lost records that it happened at all.
+}
+
+// depositAbsorbed apportions one collision's absorbed weight over the
+// material's elements by their share of the macroscopic absorption — the
+// same arithmetic sampleAbsorber randomizes, made deterministic.
+func depositAbsorbed(by map[string]*stats.Weighted, m *materials.Material, e units.Energy, wAbs float64) {
+	comps := m.Components()
+	total := m.MacroAbsorb(e)
+	if total <= 0 || len(comps) == 0 {
+		return
+	}
+	for _, c := range comps {
+		share := c.NumberDensity * float64(c.Element.SigmaAbsorb(e)) / total
+		if share <= 0 {
+			continue
+		}
+		t, ok := by[c.Element.Name]
+		if !ok {
+			t = &stats.Weighted{}
+			by[c.Element.Name] = t
+		}
+		t.Add(wAbs * share)
+	}
 }
 
 // sampleAbsorber picks which element captured the neutron, weighted by the

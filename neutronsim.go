@@ -13,6 +13,7 @@ import (
 	"neutronsim/internal/fleet"
 	"neutronsim/internal/jobsim"
 	"neutronsim/internal/memsim"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/report"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
@@ -28,6 +29,9 @@ type (
 	Assessment = core.Assessment
 	// Budget sets simulated beam time for an assessment.
 	Budget = core.Budget
+	// Bias opts campaigns into importance-sampled transport with per-band
+	// oversampling factors (see Budget.Bias).
+	Bias = plan.Bias
 	// RatioRow is one line of the cross-section ratio table.
 	RatioRow = core.RatioRow
 	// ShareRow is one line of the thermal-FIT-share table.
