@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sampling bench-plan bench-vr neutrond clean
+.PHONY: check vet build test race bench bench-sampling bench-plan bench-vr bench-cluster neutrond loadgen clean
 
 check: vet build race
 
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-bench: bench-sampling bench-plan bench-vr
+bench: bench-sampling bench-plan bench-vr bench-cluster
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # bench-sampling runs the sampling + beam hot-loop benchmarks single-threaded
@@ -49,8 +49,19 @@ bench-plan:
 bench-vr:
 	$(GO) test -run='^$$' -bench='BenchmarkVR' -benchmem ./internal/vr
 
+# bench-cluster compares a single neutrond node against a coordinator +
+# 3-worker fleet under the same closed-loop job storm and writes
+# BENCH_cluster.json. The snapshot writer fails if distributed execution
+# is not bit-identical to the direct library result or the fleet's
+# saturation throughput is below 2x the single node's.
+bench-cluster:
+	$(GO) test -run='^$$' -bench='BenchmarkClusterStorm' -benchtime=1x ./internal/cluster
+
 neutrond:
 	$(GO) build -o neutrond ./cmd/neutrond
 
+loadgen:
+	$(GO) build -o loadgen ./cmd/loadgen
+
 clean:
-	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json BENCH_vr.json neutrond
+	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json BENCH_vr.json BENCH_cluster.json neutrond loadgen

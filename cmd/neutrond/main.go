@@ -6,8 +6,15 @@
 // Usage:
 //
 //	neutrond [-addr 127.0.0.1:8791] [-queue 64] [-job-workers 2]
-//	         [-job-shards N] [-cache-entries 256] [-cache-mb 64]
+//	         [-job-shards N] [-shard-slots N] [-cache-entries 256] [-cache-mb 64]
 //	         [-plan-cache-entries 64] [-job-timeout 10m] [-drain-timeout 30s]
+//	         [-role worker|coordinator] [-peers url,url,...]
+//
+// Cluster mode (DESIGN.md §15): every neutrond is a worker — its
+// POST /v1/shards surface executes shard ranges for any coordinator.
+// Starting with -role coordinator -peers <urls> additionally fans beam
+// campaigns out across the peer fleet and routes other jobs to their
+// rendezvous owner, with results bit-identical to single-node runs.
 //
 // On SIGINT/SIGTERM the server drains: intake answers 503, in-flight jobs
 // get -drain-timeout to finish before being canceled, and the final
@@ -17,15 +24,30 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"neutronsim/internal/cluster"
 	"neutronsim/internal/plan"
 	"neutronsim/internal/server"
 	"neutronsim/internal/telemetry"
 )
+
+// splitPeers parses the -peers list, dropping empties so trailing commas
+// are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -45,6 +67,9 @@ func run(args []string) error {
 	planEntries := fs.Int("plan-cache-entries", plan.DefaultCapacity, "compiled campaign-plan cache entry bound (shared across the worker pool)")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job deadline (negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long in-flight jobs may finish after SIGTERM")
+	shardSlots := fs.Int("shard-slots", 0, "concurrent POST /v1/shards executions (0 = GOMAXPROCS; never affects results)")
+	role := fs.String("role", "worker", "cluster role: worker (serve shard ranges) or coordinator (also fan campaigns out to -peers)")
+	peers := fs.String("peers", "", "comma-separated peer base URLs for -role coordinator (e.g. http://127.0.0.1:8441,http://127.0.0.1:8442)")
 	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,16 +83,32 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Addr:         *addr,
 		QueueDepth:   *queue,
 		Workers:      *jobWorkers,
 		JobShards:    *jobShards,
+		ShardSlots:   *shardSlots,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   int64(*cacheMB) << 20,
 		JobTimeout:   *jobTimeout,
 		DrainTimeout: *drainTimeout,
-	})
+	}
+	switch *role {
+	case "worker":
+	case "coordinator":
+		peerList := splitPeers(*peers)
+		if len(peerList) == 0 {
+			return fmt.Errorf("role coordinator requires -peers")
+		}
+		coord := cluster.New(cluster.Config{Peers: peerList, Shards: *jobShards})
+		coord.Start(ctx)
+		cfg.Execute = coord.Execute
+		telemetry.Log().Info("coordinating", "peers", peerList)
+	default:
+		return fmt.Errorf("unknown -role %q (worker or coordinator)", *role)
+	}
+	srv := server.New(cfg)
 	if err := srv.Start(); err != nil {
 		return err
 	}

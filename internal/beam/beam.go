@@ -196,23 +196,28 @@ type weightedShardTally struct {
 	dueByBand        [physics.NumBands + 1]stats.Weighted
 }
 
-// RunContext is Run with a caller context, so the campaign's telemetry
-// spans nest under any span the caller has open (e.g. core.assess).
-//
-// The runs loop executes on the sharded engine: each shard of ShardGrain
-// runs draws from its own stream (engine.StreamForShard(Seed, shard)) and
-// keeps its own injector and persistent-FPGA-corruption state, so the
-// result is identical for any Shards worker count — including 1, the
-// serial executor. Persistent configuration faults are carried run-to-run
-// within a shard and cleared at shard boundaries, operationally a periodic
-// blind bitstream reload every ShardGrain runs (DESIGN.md §9).
-func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+// campaignSetup is everything a campaign derives deterministically before
+// its run loop: the compiled plan and the auto-tuned decomposition. It is
+// a pure function of Config — the coordinator computing it to partition a
+// campaign, a worker computing it to execute a shard range, and a
+// single-node run all derive identical values (DESIGN.md §15).
+type campaignSetup struct {
+	cfg        Config // defaulted and validated
+	pl         *plan.CampaignPlan
+	flux       float64
+	runSeconds float64
+	lambda     float64
+	runs       int
+	grain      int
+}
+
+// prepare validates the config, compiles (or cache-hits) the campaign
+// plan, and derives the run decomposition.
+func prepare(ctx context.Context, cfg Config) (*campaignSetup, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ctx, campaign := telemetry.StartSpan(ctx, "beam.campaign")
-	defer campaign.End()
 	// Validate the workload name (and capture the golden output) before
 	// committing to the campaign.
 	if _, err := workload.New(cfg.WorkloadName); err != nil {
@@ -226,11 +231,6 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cal.SetStage("compile")
 	pl := plan.Shared.ForBiasedContext(calCtx, cfg.Device, cfg.Beam, cfg.CalSamples, cfg.Seed, cfg.Bias)
 	cal.End()
-	// beam.neutrons_sampled counts the campaign's calibration budget; it is
-	// posted whether the plan was compiled here or served from the cache,
-	// so the counter stays proportional to campaigns run rather than to
-	// cache misses.
-	telemetry.Count("beam.neutrons_sampled", int64(cfg.CalSamples))
 
 	flux := float64(cfg.Beam.TotalFlux()) * cfg.Derating
 	area := cfg.Device.DieAreaCm2
@@ -247,21 +247,47 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			runSeconds = cfg.DurationSeconds / 2e6
 		}
 	}
-	// Expected device interactions per run.
-	lambda := ratePerSecond * runSeconds
-
-	res := &Result{
-		Device:       cfg.Device.Name,
-		Workload:     cfg.WorkloadName,
-		Beam:         cfg.Beam.Name(),
-		FaultsByBand: map[physics.EnergyBand]int64{},
-	}
 	runs := int(cfg.DurationSeconds / runSeconds)
 	if runs < 1 {
 		runs = 1
 	}
-	res.Runs = runs
-	res.Fluence = units.Fluence(flux * runSeconds * float64(runs))
+	grain := cfg.ShardGrain
+	if grain <= 0 {
+		grain = defaultShardGrain
+	}
+	return &campaignSetup{
+		cfg:        cfg,
+		pl:         pl,
+		flux:       flux,
+		runSeconds: runSeconds,
+		lambda:     ratePerSecond * runSeconds,
+		runs:       runs,
+		grain:      grain,
+	}, nil
+}
+
+// RunContext is Run with a caller context, so the campaign's telemetry
+// spans nest under any span the caller has open (e.g. core.assess).
+//
+// The runs loop executes on the sharded engine: each shard of ShardGrain
+// runs draws from its own stream (engine.StreamForShard(Seed, shard)) and
+// keeps its own injector and persistent-FPGA-corruption state, so the
+// result is identical for any Shards worker count — including 1, the
+// serial executor. Persistent configuration faults are carried run-to-run
+// within a shard and cleared at shard boundaries, operationally a periodic
+// blind bitstream reload every ShardGrain runs (DESIGN.md §9).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	ctx, campaign := telemetry.StartSpan(ctx, "beam.campaign")
+	defer campaign.End()
+	s, err := prepare(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// beam.neutrons_sampled counts the campaign's calibration budget; it is
+	// posted whether the plan was compiled here or served from the cache,
+	// so the counter stays proportional to campaigns run rather than to
+	// cache misses.
+	telemetry.Count("beam.neutrons_sampled", int64(s.cfg.CalSamples))
 
 	_, runSpan := telemetry.StartSpan(ctx, "beam.runs")
 	runStart := time.Now()
@@ -270,32 +296,52 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// the merge, so concurrent shards never touch them).
 	var events atomic.Int64
 	tallies, err := engine.Map(ctx, engine.Config{
-		Workers: cfg.Shards,
-		Grain:   cfg.ShardGrain,
-		Seed:    cfg.Seed,
+		Workers: s.cfg.Shards,
+		Grain:   s.grain,
+		Seed:    s.cfg.Seed,
 		Name:    "beam",
 		OnShardDone: func(_ engine.Shard, doneItems, totalItems int) {
 			telemetry.ReportProgressContext(ctx, telemetry.ProgressUpdate{
 				Component: "beam",
-				Device:    res.Device,
-				Beam:      res.Beam,
+				Device:    s.cfg.Device.Name,
+				Beam:      s.cfg.Beam.Name(),
 				Done:      float64(doneItems),
 				Total:     float64(totalItems),
-				Fluence:   flux * runSeconds * float64(doneItems),
+				Fluence:   s.flux * s.runSeconds * float64(doneItems),
 				Events:    events.Load(),
 				Elapsed:   time.Since(runStart),
 			})
 		},
-	}, runs, defaultShardGrain, func(_ context.Context, sh engine.Shard) (shardTally, error) {
-		return runShard(cfg, sh, pl, lambda, &events)
+	}, s.runs, defaultShardGrain, func(_ context.Context, sh engine.Shard) (shardTally, error) {
+		return runShard(s.cfg, sh, s.pl, s.lambda, &events)
 	})
 	runSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	return s.assemble(ctx, tallies, time.Since(runStart))
+}
+
+// assemble folds per-shard tallies — in shard order — into the campaign
+// Result, posts the campaign's telemetry totals, and computes the cross
+// sections. It is the single merge implementation shared by the local
+// path (RunContext) and the distributed path (AssemblePartials), which is
+// what makes "distributed results are bit-identical to single-node runs"
+// a structural property rather than a re-implementation promise. elapsed
+// is the wall time of the run phase; non-positive skips the throughput
+// gauge (a coordinator assembling remote tallies ran nothing itself).
+func (s *campaignSetup) assemble(ctx context.Context, tallies []shardTally, elapsed time.Duration) (*Result, error) {
 	_, mergeSpan := telemetry.StartSpan(ctx, "beam.merge")
 	mergeSpan.SetStage("merge")
 	defer mergeSpan.End()
+	res := &Result{
+		Device:       s.cfg.Device.Name,
+		Workload:     s.cfg.WorkloadName,
+		Beam:         s.cfg.Beam.Name(),
+		Runs:         s.runs,
+		Fluence:      units.Fluence(s.flux * s.runSeconds * float64(s.runs)),
+		FaultsByBand: map[physics.EnergyBand]int64{},
+	}
 	var totalInteractions int64
 	for _, tc := range tallies {
 		res.SDC += tc.sdc
@@ -313,22 +359,24 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// Post campaign totals once, atomically, after the merge — per-run
 	// counter traffic from inside shards would be racy bookkeeping at
 	// best and a contention hot spot at worst.
-	// beam.neutrons_sampled counts calibration draws only (posted above);
-	// conditioned interaction draws are beam.interactions. Adding the
-	// interactions here again would double-count them across two counters.
+	// beam.neutrons_sampled counts calibration draws only (posted by the
+	// campaign entry points); conditioned interaction draws are
+	// beam.interactions. Adding the interactions here again would
+	// double-count them across two counters.
 	reg := telemetry.Default
 	reg.Counter("beam.interactions").Add(totalInteractions)
 	reg.Counter("beam.sdc_events").Add(res.SDC)
 	reg.Counter("beam.due_events").Add(res.DUE)
-	reg.Counter("beam.runs").Add(int64(runs))
+	reg.Counter("beam.runs").Add(int64(s.runs))
 	reg.Counter("beam.upsets").Add(res.Upsets)
 	reg.Counter("beam.masked").Add(res.Masked)
-	if elapsed := time.Since(runStart).Seconds(); elapsed > 0 {
+	if secs := elapsed.Seconds(); secs > 0 {
 		reg.Gauge("beam.samples_per_sec").Set(
-			(float64(cfg.CalSamples) + float64(totalInteractions)) / elapsed)
+			(float64(s.cfg.CalSamples) + float64(totalInteractions)) / secs)
 	}
-	if cfg.Bias != nil {
-		res.Weighted = mergeWeighted(*cfg.Bias, tallies)
+	var err error
+	if s.cfg.Bias != nil {
+		res.Weighted = mergeWeighted(*s.cfg.Bias, tallies)
 		// beam.neutrons_weighted counts the biased campaign's weighted
 		// interaction draws. Like every Result field it is a pure function
 		// of the shard decomposition, so it is shard-count-invariant.

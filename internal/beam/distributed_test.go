@@ -1,0 +1,163 @@
+package beam
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"neutronsim/internal/device"
+	"neutronsim/internal/plan"
+	"neutronsim/internal/spectrum"
+)
+
+// rangeCfg is a small multi-shard campaign: 2000 runs over grain 64 gives
+// a 32-shard plan cheap enough for the unit suite.
+func rangeCfg(t *testing.T, bias *plan.Bias) Config {
+	t.Helper()
+	var zynq *device.Device
+	for _, d := range device.All() {
+		if d.Name == "Zynq7000" {
+			zynq = d
+		}
+	}
+	if zynq == nil {
+		t.Fatal("Zynq7000 not in catalog")
+	}
+	return Config{
+		Device:          zynq,
+		WorkloadName:    "MxM",
+		Beam:            spectrum.ROTAX(),
+		DurationSeconds: 20,
+		RunSeconds:      0.01,
+		Seed:            42,
+		CalSamples:      2000,
+		ShardGrain:      64,
+		Bias:            bias,
+	}
+}
+
+// roundTrip pushes a Partial through its JSON wire form, as the cluster
+// protocol does, to prove the encoding is lossless.
+func roundTrip(t *testing.T, p *Partial) *Partial {
+	t.Helper()
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal partial: %v", err)
+	}
+	out := &Partial{}
+	if err := json.Unmarshal(blob, out); err != nil {
+		t.Fatalf("unmarshal partial: %v", err)
+	}
+	return out
+}
+
+// TestAssemblePartialsBitIdentical is the library-level distributed
+// conformance gate: executing a campaign as shard ranges — in any
+// partition, serialized over the wire — assembles to a Result DeepEqual
+// to the single-node run. Covers the exact path (Zynq7000 carries
+// persistent FPGA faults, the stateful case) and the biased path (Kahan
+// compensation must survive the wire).
+func TestAssemblePartialsBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		bias *plan.Bias
+	}{
+		{"exact", nil},
+		{"biased", &plan.Bias{Thermal: 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := rangeCfg(t, tc.bias)
+			direct, err := RunContext(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := PlanInfo(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Shards < 4 {
+				t.Fatalf("want a multi-shard plan, got %d shards", info.Shards)
+			}
+			for _, cuts := range [][]int{
+				{0, info.Shards},
+				{0, 1, info.Shards / 3, info.Shards - 1, info.Shards},
+			} {
+				var partials []*Partial
+				for i := 0; i+1 < len(cuts); i++ {
+					p, err := RunRange(ctx, cfg, cuts[i], cuts[i+1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					partials = append(partials, roundTrip(t, p))
+				}
+				got, err := AssemblePartials(ctx, cfg, partials)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, direct) {
+					t.Errorf("cuts %v: assembled result diverged from single-node run\n got: %+v\nwant: %+v", cuts, got, direct)
+				}
+			}
+		})
+	}
+}
+
+// TestAssemblePartialsRejectsBadCoverage pins the double-count and
+// under-count protections: overlaps, gaps, truncated tallies and
+// weighted/exact mismatches are errors, never silently merged.
+func TestAssemblePartialsRejectsBadCoverage(t *testing.T) {
+	ctx := context.Background()
+	cfg := rangeCfg(t, nil)
+	info, err := PlanInfo(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := info.Shards / 2
+	a, err := RunRange(ctx, cfg, 0, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRange(ctx, cfg, mid, info.Shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := RunRange(ctx, cfg, mid-1, info.Shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ps   []*Partial
+		want string
+	}{
+		{"gap", []*Partial{a}, "missing"},
+		{"overlap", []*Partial{a, overlap}, "double-count"},
+		{"duplicate", []*Partial{a, a, b}, "double-count"},
+		{"empty", nil, "missing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := AssemblePartials(ctx, cfg, tc.ps); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	t.Run("weighted-mismatch", func(t *testing.T) {
+		trunc := *a
+		trunc.Tallies = append([]TallyWire(nil), a.Tallies...)
+		trunc.Tallies[0].Weighted = &WeightedTallyWire{}
+		if _, err := AssemblePartials(ctx, cfg, []*Partial{&trunc, b}); err == nil || !strings.Contains(err.Error(), "weighted") {
+			t.Errorf("want weighted-mismatch error, got %v", err)
+		}
+	})
+	t.Run("short-tallies", func(t *testing.T) {
+		trunc := *a
+		trunc.Tallies = a.Tallies[:len(a.Tallies)-1]
+		if _, err := AssemblePartials(ctx, cfg, []*Partial{&trunc, b}); err == nil || !strings.Contains(err.Error(), "carries") {
+			t.Errorf("want tally-count error, got %v", err)
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"time"
+
+	"neutronsim/internal/server"
+	"neutronsim/internal/telemetry"
+)
+
+// BenchOptions shapes the single-node vs cluster comparison.
+//
+// The fleet's advantage on this machine is aggregate cache capacity, not
+// CPU count: every node shares the same cores, so fanning compute out
+// buys nothing, but HRW routing shards the key space across per-worker
+// result caches. The bench therefore picks Keys larger than one node's
+// cache (the single node thrashes and recomputes) but smaller than the
+// fleet's combined capacity (each worker's key shard fits, so steady
+// state answers from cache). The headline number is the saturation
+// throughput ratio at equal offered load.
+type BenchOptions struct {
+	// Workers is the fleet size behind the coordinator (default 3).
+	Workers int
+	// Keys is the distinct-campaign key space (default 45).
+	Keys int
+	// CacheEntries bounds every node's result cache (default 16): one
+	// node holds 16/45 of the keys, the 3-worker fleet all of them.
+	CacheEntries int
+	// Concurrency is the loadgen's closed-loop in-flight requests
+	// (default 8).
+	Concurrency int
+	// Duration is each measured storm (default 3s).
+	Duration time.Duration
+	// CampaignSeconds sizes each key's compute so a recompute visibly
+	// outweighs a forwarded cache hit (default 2000 beam-seconds, about
+	// 200k runs — tens of milliseconds of CPU per miss).
+	CampaignSeconds float64
+	// Distribution is the loadgen key distribution (default uniform —
+	// the worst case for a single small cache).
+	Distribution string
+}
+
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.Workers <= 0 {
+		o.Workers = 3
+	}
+	if o.Keys <= 0 {
+		o.Keys = 45
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 16
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 3 * time.Second
+	}
+	if o.CampaignSeconds <= 0 {
+		o.CampaignSeconds = 2000
+	}
+	if o.Distribution == "" {
+		o.Distribution = "uniform"
+	}
+	return o
+}
+
+// DefaultBenchOptions returns the CI configuration.
+func DefaultBenchOptions() BenchOptions { return BenchOptions{}.withDefaults() }
+
+// BenchReport is the published BENCH_cluster.json shape.
+type BenchReport struct {
+	Workers      int     `json:"workers"`
+	Keys         int     `json:"keys"`
+	CacheEntries int     `json:"cache_entries_per_node"`
+	Concurrency  int     `json:"concurrency"`
+	Distribution string  `json:"distribution"`
+	CampaignSec  float64 `json:"campaign_seconds"`
+
+	// IdentityBitExact is the conformance gate: a fanned-out and a
+	// whole-routed campaign both DeepEqual the direct library result.
+	IdentityBitExact bool `json:"identity_bit_exact"`
+
+	SingleNode *Report `json:"single_node"`
+	Cluster    *Report `json:"cluster"`
+
+	// SaturationSpeedup is Cluster.Throughput / SingleNode.Throughput.
+	SaturationSpeedup float64 `json:"saturation_speedup"`
+}
+
+// BenchCampaign maps key → request for the storm: campaigns whose cache
+// keys differ by seed while their compute cost does not. The coarse
+// ShardGrain keeps the plan under the coordinator's fan-out threshold,
+// so storms exercise HRW whole-job routing — the cache-sharding path the
+// bench is about.
+func BenchCampaign(seconds float64) func(int) *server.CampaignRequest {
+	return func(key int) *server.CampaignRequest {
+		return &server.CampaignRequest{
+			Kind: server.KindBeam,
+			Seed: uint64(9000 + key),
+			Beam: &server.BeamParams{
+				Device:          "K20",
+				Workload:        "MxM",
+				Spectrum:        "ChipIR",
+				DurationSeconds: seconds,
+				RunSeconds:      0.01,
+				CalSamples:      2000,
+				ShardGrain:      65536,
+			},
+		}
+	}
+}
+
+// benchServer builds one node with the bench's deliberately small result
+// cache.
+func benchServer(entries int) (*server.Server, *httptest.Server) {
+	srv := server.New(server.Config{
+		Workers:      8,
+		CacheEntries: entries,
+		Registry:     telemetry.NewRegistry(),
+	})
+	return srv, httptest.NewServer(srv.Handler())
+}
+
+// checkIdentity compares coordinator execution to the direct library
+// call on both coordinator paths: shard-range fan-out and HRW whole-job
+// routing.
+func checkIdentity(ctx context.Context, coord *Coordinator) (bool, error) {
+	fanReq, err := (&server.CampaignRequest{
+		Kind: server.KindBeam,
+		Seed: 8801,
+		Beam: &server.BeamParams{
+			Device: "K20", Workload: "MxM", Spectrum: "ROTAX",
+			DurationSeconds: 20, RunSeconds: 0.01, CalSamples: 2000, ShardGrain: 32,
+		},
+	}).Normalize()
+	if err != nil {
+		return false, err
+	}
+	routeReq, err := BenchCampaign(20)(1).Normalize()
+	if err != nil {
+		return false, err
+	}
+	for _, req := range []*server.CampaignRequest{fanReq, routeReq} {
+		want, err := server.Execute(ctx, req, 0)
+		if err != nil {
+			return false, err
+		}
+		got, err := coord.Execute(ctx, req, 0)
+		if err != nil {
+			return false, err
+		}
+		if !reflect.DeepEqual(got, want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// warm touches every key once so the measured storms compare steady
+// states: compiled plans are shared process-wide either way, and each
+// topology's result caches hold whatever their capacity can.
+func warm(ctx context.Context, target string, keys int, campaign func(int) *server.CampaignRequest) error {
+	client := NewClient(nil)
+	client.pollEvery = 2 * time.Millisecond
+	for k := 0; k < keys; k++ {
+		if _, err := client.Forward(ctx, target, campaign(k)); err != nil {
+			return fmt.Errorf("warm key %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// CompareBench runs the two topologies under the same storm and reports.
+func CompareBench(ctx context.Context, o BenchOptions) (*BenchReport, error) {
+	o = o.withDefaults()
+	campaign := BenchCampaign(o.CampaignSeconds)
+
+	// Single node: one server, one small cache.
+	_, singleTS := benchServer(o.CacheEntries)
+	defer singleTS.Close()
+
+	// Cluster: coordinator in front of Workers nodes, same cache size
+	// everywhere.
+	var peerURLs []string
+	for i := 0; i < o.Workers; i++ {
+		_, ts := benchServer(o.CacheEntries)
+		defer ts.Close()
+		peerURLs = append(peerURLs, ts.URL)
+	}
+	coordCtx, stopCoord := context.WithCancel(ctx)
+	defer stopCoord()
+	coord := New(Config{
+		Peers:          peerURLs,
+		HealthInterval: 250 * time.Millisecond,
+		Registry:       telemetry.NewRegistry(),
+	})
+	coord.Start(coordCtx)
+	if len(coord.Peers().Healthy()) != o.Workers {
+		return nil, fmt.Errorf("only %d/%d workers healthy", len(coord.Peers().Healthy()), o.Workers)
+	}
+	coordSrv := server.New(server.Config{
+		Workers:      8,
+		CacheEntries: o.CacheEntries,
+		Execute:      coord.Execute,
+		Registry:     telemetry.NewRegistry(),
+	})
+	coordTS := httptest.NewServer(coordSrv.Handler())
+	defer coordTS.Close()
+
+	identity, err := checkIdentity(ctx, coord)
+	if err != nil {
+		return nil, fmt.Errorf("identity check: %w", err)
+	}
+
+	if err := warm(ctx, singleTS.URL, o.Keys, campaign); err != nil {
+		return nil, err
+	}
+	if err := warm(ctx, coordTS.URL, o.Keys, campaign); err != nil {
+		return nil, err
+	}
+
+	load := func(target string) (*Report, error) {
+		return RunLoad(ctx, LoadConfig{
+			Target:       target,
+			Concurrency:  o.Concurrency,
+			Duration:     o.Duration,
+			Keys:         o.Keys,
+			Distribution: o.Distribution,
+			Seed:         12345,
+			Campaign:     campaign,
+		})
+	}
+	single, err := load(singleTS.URL)
+	if err != nil {
+		return nil, fmt.Errorf("single-node storm: %w", err)
+	}
+	clustered, err := load(coordTS.URL)
+	if err != nil {
+		return nil, fmt.Errorf("cluster storm: %w", err)
+	}
+
+	rep := &BenchReport{
+		Workers:          o.Workers,
+		Keys:             o.Keys,
+		CacheEntries:     o.CacheEntries,
+		Concurrency:      o.Concurrency,
+		Distribution:     o.Distribution,
+		CampaignSec:      o.CampaignSeconds,
+		IdentityBitExact: identity,
+		SingleNode:       single,
+		Cluster:          clustered,
+	}
+	if single.Throughput > 0 {
+		rep.SaturationSpeedup = clustered.Throughput / single.Throughput
+	}
+	return rep, nil
+}
+
+// Gate enforces the bench's CI floors: distributed identity must hold
+// and the fleet must saturate at ≥ minSpeedup× the single node.
+func Gate(rep *BenchReport, minSpeedup float64) error {
+	if !rep.IdentityBitExact {
+		return fmt.Errorf("cluster bench: distributed results are not bit-identical to local execution")
+	}
+	if rep.SingleNode.Errors > 0 || rep.Cluster.Errors > 0 {
+		return fmt.Errorf("cluster bench: storm errors (single %d, cluster %d)", rep.SingleNode.Errors, rep.Cluster.Errors)
+	}
+	if rep.SaturationSpeedup < minSpeedup {
+		return fmt.Errorf("cluster bench: saturation speedup %.2fx below the %.1fx floor (single %.1f rps, cluster %.1f rps)",
+			rep.SaturationSpeedup, minSpeedup, rep.SingleNode.Throughput, rep.Cluster.Throughput)
+	}
+	return nil
+}

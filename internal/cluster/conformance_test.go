@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neutronsim/internal/plan"
+	"neutronsim/internal/server"
+	"neutronsim/internal/telemetry"
+)
+
+// worker is one test-fleet member: a real neutrond server on a real
+// listener, so dispatch exercises the actual HTTP path.
+type worker struct {
+	ts  *httptest.Server
+	srv *server.Server
+}
+
+func startWorkers(t *testing.T, n int) []*worker {
+	t.Helper()
+	ws := make([]*worker, n)
+	for i := range ws {
+		srv := server.New(server.Config{
+			Workers:  2,
+			Registry: telemetry.NewRegistry(),
+		})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		ws[i] = &worker{ts: ts, srv: srv}
+	}
+	return ws
+}
+
+func urlsOf(ws []*worker) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.ts.URL
+	}
+	return out
+}
+
+func testCoordinator(ctx context.Context, t *testing.T, peers []string, reg *telemetry.Registry) *Coordinator {
+	t.Helper()
+	c := New(Config{
+		Peers:          peers,
+		Shards:         2,
+		RangesPerPeer:  2,
+		RangeTimeout:   30 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		DownCooldown:   100 * time.Millisecond,
+		Registry:       reg,
+	})
+	c.Start(ctx)
+	if len(peers) > 0 && len(c.Peers().Healthy()) == 0 {
+		t.Fatal("no healthy peers after initial poll")
+	}
+	return c
+}
+
+// clusterReq builds a beam campaign that decomposes into a multi-shard
+// plan (500 runs over grain 32 → 16 shards), so Execute takes the
+// fan-out path rather than whole-job routing.
+func clusterReq(t *testing.T, dev, spec string, seed uint64) *server.CampaignRequest {
+	t.Helper()
+	req, err := (&server.CampaignRequest{
+		Kind: server.KindBeam,
+		Seed: seed,
+		Beam: &server.BeamParams{
+			Device:          dev,
+			Workload:        "MxM",
+			Spectrum:        spec,
+			DurationSeconds: 5,
+			RunSeconds:      0.01,
+			CalSamples:      2000,
+			ShardGrain:      32,
+		},
+	}).Normalize()
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return req
+}
+
+// TestDistributedConformance is the cluster's core guarantee: for fleets
+// of 1, 2 and 3 workers, a coordinator-executed campaign is DeepEqual to
+// the direct library result, across three device architectures and both
+// paper spectra. The shard partials cross real HTTP and JSON on the way.
+func TestDistributedConformance(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	devices := []string{"XeonPhi", "K20", "Zynq7000"}
+	spectra := []string{"ChipIR", "ROTAX"}
+
+	type key struct{ dev, spec string }
+	direct := map[key]*server.ResultEnvelope{}
+	for i, dev := range devices {
+		for j, spec := range spectra {
+			req := clusterReq(t, dev, spec, uint64(500+10*i+j))
+			env, err := server.Execute(ctx, req, 2)
+			if err != nil {
+				t.Fatalf("direct %s/%s: %v", dev, spec, err)
+			}
+			direct[key{dev, spec}] = env
+		}
+	}
+
+	for _, workers := range []int{1, 2, 3} {
+		t.Run(map[int]string{1: "1worker", 2: "2workers", 3: "3workers"}[workers], func(t *testing.T) {
+			ws := startWorkers(t, workers)
+			reg := telemetry.NewRegistry()
+			coord := testCoordinator(ctx, t, urlsOf(ws), reg)
+			for i, dev := range devices {
+				for j, spec := range spectra {
+					req := clusterReq(t, dev, spec, uint64(500+10*i+j))
+					env, err := coord.Execute(ctx, req, 2)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", dev, spec, err)
+					}
+					want := direct[key{dev, spec}]
+					if !reflect.DeepEqual(env, want) {
+						t.Errorf("%s/%s with %d workers: distributed result diverged\n got: %+v\nwant: %+v",
+							dev, spec, workers, env.Beam, want.Beam)
+					}
+				}
+			}
+			if reg.Counter("cluster.ranges_dispatched").Value() == 0 {
+				t.Error("no shard ranges were dispatched to peers")
+			}
+		})
+	}
+}
+
+// TestDistributedConformanceBiased covers the importance-sampled path:
+// weighted Kahan tallies must survive dispatch, the wire, and re-assembly
+// bit-for-bit.
+func TestDistributedConformanceBiased(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := (&server.CampaignRequest{
+		Kind: server.KindBeam,
+		Seed: 77,
+		Beam: &server.BeamParams{
+			Device:          "Zynq7000",
+			Workload:        "MxM",
+			Spectrum:        "ChipIR",
+			DurationSeconds: 5,
+			RunSeconds:      0.01,
+			CalSamples:      2000,
+			ShardGrain:      32,
+			Bias:            &plan.Bias{Thermal: 8},
+		},
+	}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := server.Execute(ctx, req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := startWorkers(t, 2)
+	coord := testCoordinator(ctx, t, urlsOf(ws), telemetry.NewRegistry())
+	got, err := coord.Execute(ctx, req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("biased distributed result diverged\n got: %+v\nwant: %+v", got.Beam, want.Beam)
+	}
+}
+
+// TestWorkerKillMidCampaign: a worker dying mid-fan-out must cost
+// nothing but time — its ranges re-dispatch (to the surviving peer or
+// locally) and the final result is still bit-identical. Worker 0 is a
+// deterministic casualty: it answers /readyz (so the coordinator
+// dispatches to it) but resets the connection on every shard range, the
+// worst case of "accepted work, died mid-execution".
+func TestWorkerKillMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := clusterReq(t, "K20", "ROTAX", 901)
+	req.Beam.DurationSeconds = 20
+	var err error
+	if req, err = req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := server.Execute(ctx, req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healthy := startWorkers(t, 1)[0]
+	var shardCalls atomic.Int64
+	victim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shards" {
+			shardCalls.Add(1)
+			panic(http.ErrAbortHandler) // reset the connection mid-request
+		}
+		healthy.srv.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(victim.Close)
+
+	reg := telemetry.NewRegistry()
+	coord := New(Config{
+		Peers:          []string{victim.URL, healthy.ts.URL},
+		Shards:         2,
+		RangesPerPeer:  4,
+		RangeTimeout:   10 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		DownCooldown:   time.Minute, // once lost, stay lost for this test
+		Registry:       reg,
+	})
+	coord.Start(ctx)
+
+	got, err := coord.Execute(ctx, req, 2)
+	if err != nil {
+		t.Fatalf("execute with dying worker: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("result after worker kill diverged\n got: %+v\nwant: %+v", got.Beam, want.Beam)
+	}
+	if shardCalls.Load() == 0 {
+		t.Error("dying worker was never dispatched to; kill path untested")
+	}
+	if reg.Counter("cluster.ranges_redispatched").Value() == 0 {
+		t.Error("no range was re-dispatched")
+	}
+}
+
+// TestNoPeersFallsBackLocal: a coordinator with an empty (or all-dead)
+// fleet degrades to exactly the single-node executor.
+func TestNoPeersFallsBackLocal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := clusterReq(t, "XeonPhi", "ChipIR", 321)
+	want, err := server.Execute(ctx, req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	coord := New(Config{Peers: nil, Shards: 2, Registry: reg})
+	got, err := coord.Execute(ctx, req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("peerless coordinator result diverged from local execution")
+	}
+	if reg.Counter("cluster.local_fallback").Value() == 0 {
+		t.Error("local fallback not recorded")
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministicAndRankConsistent(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := Owner(key, nodes)
+		if owner == "" {
+			t.Fatalf("empty owner for %q", key)
+		}
+		if owner != Owner(key, []string{nodes[2], nodes[0], nodes[1]}) {
+			t.Errorf("owner of %q depends on node order", key)
+		}
+		rank := Rank(key, nodes)
+		if len(rank) != len(nodes) || rank[0] != owner {
+			t.Errorf("Rank(%q)[0] = %v, want owner %q", key, rank, owner)
+		}
+	}
+	if Owner("k", nil) != "" {
+		t.Error("Owner with no nodes should be empty")
+	}
+}
+
+// TestOwnerSpreadsKeys guards against a degenerate hash: over many keys
+// every node should own a non-trivial share.
+func TestOwnerSpreadsKeys(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[Owner(fmt.Sprintf("key-%d", i), nodes)]++
+	}
+	for _, n := range nodes {
+		if counts[n] < keys/10 {
+			t.Errorf("node %s owns only %d/%d keys", n, counts[n], keys)
+		}
+	}
+}
+
+// TestOwnerMinimalDisruption: removing one node must not move keys
+// between the surviving nodes.
+func TestOwnerMinimalDisruption(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	survivors := []string{"http://a:1", "http://c:3"}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := Owner(key, nodes)
+		after := Owner(key, survivors)
+		if before != "http://b:2" && after != before {
+			t.Errorf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+}

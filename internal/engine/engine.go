@@ -124,6 +124,19 @@ func StreamForShard(seed uint64, shard int) *rng.Stream {
 // the call returns ctx's error. Cancellation never changes the values of
 // the shards that did complete — it only truncates the campaign.
 func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn func(ctx context.Context, sh Shard) (T, error)) ([]T, error) {
+	return MapRange(ctx, cfg, total, defaultGrain, 0, -1, fn)
+}
+
+// MapRange is Map restricted to the contiguous shard sub-range [lo, hi)
+// of the campaign's deterministic shard plan. The plan and the per-shard
+// streams are those of the FULL campaign — Plan(total, grain) — so a
+// shard computes exactly the same values whether it runs under Map, under
+// MapRange on this process, or under MapRange on a peer: ranges are the
+// distribution unit of the cluster coordinator, and re-executing one is
+// idempotent by construction. hi == -1 means "through the last shard".
+// The result slice holds the in-range shards' values in shard order
+// (index i is shard lo+i).
+func MapRange[T any](ctx context.Context, cfg Config, total, defaultGrain, lo, hi int, fn func(ctx context.Context, sh Shard) (T, error)) ([]T, error) {
 	grain := cfg.Grain
 	if grain <= 0 {
 		grain = defaultGrain
@@ -132,6 +145,18 @@ func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn fun
 	if len(shards) == 0 {
 		return nil, errors.New("engine: no work to shard")
 	}
+	if hi < 0 {
+		hi = len(shards)
+	}
+	if lo < 0 || lo >= hi || hi > len(shards) {
+		return nil, fmt.Errorf("engine: shard range [%d,%d) outside plan of %d shards", lo, hi, len(shards))
+	}
+	shards = shards[lo:hi]
+	rangeTotal := 0
+	for _, sh := range shards {
+		rangeTotal += sh.Count
+	}
+	total = rangeTotal
 	name := cfg.Name
 	if name == "" {
 		name = "map"
@@ -142,6 +167,7 @@ func Map[T any](ctx context.Context, cfg Config, total, defaultGrain int, fn fun
 	span.SetStage("run")
 	span.AnnotateInt("shards", len(shards))
 	span.AnnotateInt("items", total)
+	span.AnnotateInt("range_lo", lo)
 	defer span.End()
 	streamFor := cfg.StreamFor
 	if streamFor == nil {

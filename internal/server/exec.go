@@ -43,17 +43,22 @@ func Execute(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnve
 	return nil, fmt.Errorf("unknown kind %q", req.Kind)
 }
 
-func execBeam(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnvelope, error) {
+// BeamConfig resolves a normalized beam campaign into the library Config.
+// Both whole-campaign execution (execBeam) and shard-range execution
+// (POST /v1/shards) build their Config here, so a shard range runs against
+// exactly the plan the full campaign would — the precondition for
+// bit-identical distributed assembly.
+func BeamConfig(req *CampaignRequest, shards int) (beam.Config, error) {
 	p := req.Beam
 	d, err := DeviceByName(p.Device)
 	if err != nil {
-		return nil, err
+		return beam.Config{}, err
 	}
 	sp, err := SpectrumByName(p.Spectrum)
 	if err != nil {
-		return nil, err
+		return beam.Config{}, err
 	}
-	res, err := beam.RunContext(ctx, beam.Config{
+	return beam.Config{
 		Device:          d,
 		WorkloadName:    p.Workload,
 		Beam:            sp,
@@ -65,7 +70,15 @@ func execBeam(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnv
 		Shards:          shards,
 		ShardGrain:      p.ShardGrain,
 		Bias:            p.Bias,
-	})
+	}, nil
+}
+
+func execBeam(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnvelope, error) {
+	cfg, err := BeamConfig(req, shards)
+	if err != nil {
+		return nil, err
+	}
+	res, err := beam.RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

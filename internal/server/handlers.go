@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 
@@ -22,6 +24,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShards)
 	s.mux.Handle("GET /metrics", telemetry.PrometheusHandler(s.cfg.Registry))
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("GET /v1/spectra", s.handleSpectra)
@@ -131,8 +134,14 @@ func (s *Server) unavailable(w http.ResponseWriter) {
 	writeError(w, http.StatusServiceUnavailable, "server is draining")
 }
 
+// retryAfterSeconds renders the 429/503 Retry-After hint with ±20% jitter
+// so that a burst of rejected clients — or a coordinator fan-out hitting
+// a saturated worker fleet — does not come back as a synchronized retry
+// herd that saturates the queue all over again. The result is always at
+// least 1 second (the header is integer seconds).
 func retryAfterSeconds(cfg Config) string {
-	secs := int(cfg.RetryAfter.Seconds())
+	base := cfg.RetryAfter.Seconds()
+	secs := int(math.Round(base * (0.8 + 0.4*rand.Float64())))
 	if secs < 1 {
 		secs = 1
 	}
@@ -269,12 +278,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// ReadyzInfo is the GET /readyz body: readiness plus the saturation
+// signals an operator (or a cluster coordinator's health checker) needs
+// without scraping /metrics — queue depth, in-flight jobs, drain state.
+type ReadyzInfo struct {
+	Status      string `json:"status"` // ready | draining
+	QueueDepth  int    `json:"queue_depth"`
+	JobsRunning int    `json:"jobs_running"`
+	Draining    bool   `json:"draining"`
+}
+
 // handleReadyz reports 200 while accepting work and 503 once draining, so
-// load balancers stop routing before shutdown completes.
+// load balancers stop routing before shutdown completes. Both answers
+// carry the ReadyzInfo saturation snapshot.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	info := ReadyzInfo{
+		Status:      "ready",
+		QueueDepth:  int(s.queueDepth.Value()),
+		JobsRunning: int(s.jobsRunning.Value()),
+	}
 	if s.draining.Load() {
-		s.unavailable(w)
+		info.Status = "draining"
+		info.Draining = true
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg))
+		writeJSON(w, http.StatusServiceUnavailable, info)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, info)
 }

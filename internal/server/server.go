@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,15 @@ type Config struct {
 	// /v1/jobs/{id}/events stream, keeping proxies from timing out a quiet
 	// connection (default 15s; negative disables).
 	SSEHeartbeat time.Duration
+	// ShardSlots bounds concurrent POST /v1/shards executions — the
+	// synchronous worker surface of cluster mode (default GOMAXPROCS).
+	// Like every worker knob it never affects results.
+	ShardSlots int
+	// Execute overrides how jobs run (default Execute, the local library
+	// call). Cluster coordinators inject their fan-out executor here;
+	// POST /v1/shards always uses the local executor regardless, so a
+	// coordinator asked to run a shard range never recurses.
+	Execute func(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnvelope, error)
 	// Registry receives the service's telemetry (default telemetry.Default).
 	Registry *telemetry.Registry
 }
@@ -81,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.SSEHeartbeat == 0 {
 		c.SSEHeartbeat = 15 * time.Second
 	}
+	if c.ShardSlots <= 0 {
+		c.ShardSlots = runtime.GOMAXPROCS(0)
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
@@ -95,6 +108,9 @@ type Server struct {
 
 	queue chan *Job
 	quit  chan struct{} // closed at drain: workers stop pulling
+	// shardSem bounds concurrent /v1/shards executions (cluster worker
+	// surface); acquired per request, released when the range finishes.
+	shardSem chan struct{}
 
 	mu       sync.Mutex
 	byID     map[string]*Job
@@ -132,9 +148,13 @@ func New(cfg Config) *Server {
 		cache:    NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Registry),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		quit:     make(chan struct{}),
+		shardSem: make(chan struct{}, cfg.ShardSlots),
 		byID:     map[string]*Job{},
 		inflight: map[string]*Job{},
 		execute:  Execute,
+	}
+	if cfg.Execute != nil {
+		s.execute = cfg.Execute
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.jobsRunning = cfg.Registry.Gauge("server.jobs_running")

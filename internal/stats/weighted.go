@@ -77,6 +77,32 @@ func (t *Weighted) Finalize() {
 	t.cw, t.cw2 = 0, 0
 }
 
+// WeightedWire is the complete serialized state of a Weighted tally,
+// including the Kahan compensation terms that Weighted's own JSON shape
+// deliberately omits. It exists for the distributed shard protocol: a
+// worker ships its per-shard tallies un-finalized, and the coordinator
+// must fold them in shard order exactly as a single-node merge would —
+// which requires the compensation terms to survive the trip. Go's JSON
+// encoding round-trips float64 values exactly (shortest-representation
+// formatting), so Wire/Tally is lossless bit-for-bit.
+type WeightedWire struct {
+	N     int64   `json:"n"`
+	SumW  float64 `json:"sum_w"`
+	SumW2 float64 `json:"sum_w2"`
+	CW    float64 `json:"cw,omitempty"`
+	CW2   float64 `json:"cw2,omitempty"`
+}
+
+// Wire exports the tally's full state for transport.
+func (t Weighted) Wire() WeightedWire {
+	return WeightedWire{N: t.N, SumW: t.SumW, SumW2: t.SumW2, CW: t.cw, CW2: t.cw2}
+}
+
+// Tally reconstructs the Weighted value, compensation terms included.
+func (w WeightedWire) Tally() Weighted {
+	return Weighted{N: w.N, SumW: w.SumW, SumW2: w.SumW2, cw: w.CW, cw2: w.CW2}
+}
+
 // Sum returns the compensated weighted event count.
 func (t Weighted) Sum() float64 { return t.SumW + t.cw }
 
