@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sampling bench-plan bench-vr bench-cluster neutrond loadgen clean
+.PHONY: check vet build test race bench bench-sampling bench-plan bench-vr bench-cluster bench-engine neutrond loadgen clean
 
 check: vet build race
 
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-bench: bench-sampling bench-plan bench-vr bench-cluster
+bench: bench-sampling bench-plan bench-vr bench-cluster bench-engine
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # bench-sampling runs the sampling + beam hot-loop benchmarks single-threaded
@@ -49,6 +49,13 @@ bench-plan:
 bench-vr:
 	$(GO) test -run='^$$' -bench='BenchmarkVR' -benchmem ./internal/vr
 
+# bench-engine measures the sharded campaign executor across a GOMAXPROCS
+# matrix (1, 2, 4, … up to NumCPU) and rewrites BENCH_engine.json as a
+# scaling curve. The snapshot writer fails if the curve contains a 4-core
+# point whose speedup over serial is below 2.5x — the CI scaling floor.
+bench-engine:
+	$(GO) test -run='^$$' -bench='BeamCampaign' -benchtime=2x ./internal/engine
+
 # bench-cluster compares a single neutrond node against a coordinator +
 # 3-worker fleet under the same closed-loop job storm and writes
 # BENCH_cluster.json. The snapshot writer fails if distributed execution
@@ -64,4 +71,4 @@ loadgen:
 	$(GO) build -o loadgen ./cmd/loadgen
 
 clean:
-	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json BENCH_vr.json BENCH_cluster.json neutrond loadgen
+	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json BENCH_vr.json BENCH_cluster.json BENCH_engine.json neutrond loadgen

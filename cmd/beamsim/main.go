@@ -7,6 +7,7 @@
 //	beamsim [-device K20 | -device-file my.json] [-workloads MxM,LUD]
 //	        [-fast 600] [-thermal 3600] [-boost 50] [-seed N] [-shards N]
 //	        [-bias-thermal F] [-bias-epithermal F] [-bias-fast F]
+//	        [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //	        [-dump-device path]   # write a catalog device as a JSON template
 //
 // The -bias-* flags opt the campaigns into importance-sampled transport:

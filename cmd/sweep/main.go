@@ -9,6 +9,7 @@
 //	      [-qcrit-min 1] [-qcrit-max 16] [-qcrit-steps 5]
 //	      [-samples 60000] [-shards N] [-seed N] [-csv file]
 //	      [-bias-thermal F] [-bias-epithermal F] [-bias-fast F]
+//	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // The -bias-* flags switch the cross-section estimator to importance
 // sampling: each design point compiles a biased campaign plan per beamline

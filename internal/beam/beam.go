@@ -454,13 +454,19 @@ type shardRunner struct {
 	// expNegLambda caches exp(-lambda) for the Knuth Poisson draw, which
 	// otherwise recomputes it on every run.
 	expNegLambda float64
-	inj          *faultinject.Injector
-	steps        int
-	s            *rng.Stream
-	events       *atomic.Int64
-	tc           shardTally
-	faults       []faultinject.Timed
-	persistent   []faultinject.Timed
+	// sample and wsample are the plan's hoisted alias-table views: the
+	// batched classify pass reads the fused 32-byte slots through a
+	// runner-local slice header instead of chasing the plan pointer per
+	// draw.
+	sample     plan.Sampler
+	wsample    plan.WeightedSampler
+	inj        *faultinject.Injector
+	steps      int
+	s          *rng.Stream
+	events     *atomic.Int64
+	tc         shardTally
+	faults     []faultinject.Timed
+	persistent []faultinject.Timed
 	// wCarried is the weighted run loop's carried likelihood weight: the
 	// product of the weights of every draw since the shard's last
 	// persistent-state regeneration (empty persistent set). A run's
@@ -481,11 +487,21 @@ func newShardRunner(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda f
 	if err != nil {
 		return nil, err
 	}
+	// The shard stream runs the whole campaign in buffered read-ahead
+	// mode: uniforms are pre-generated a batch at a time and served in
+	// order, so every data-dependent consumer below (Poisson loop, alias
+	// draw, device physics, fault injector) sees the exact sequence an
+	// unbuffered stream would produce (DESIGN.md §16). The buffer is
+	// allocated here, once per shard, keeping the run loop itself at zero
+	// allocations.
+	sh.Stream.ReadAhead(runLoopReadAhead)
 	return &shardRunner{
 		cfg:          cfg,
 		plan:         pl,
 		lambda:       lambda,
 		expNegLambda: math.Exp(-lambda),
+		sample:       pl.Sampler(),
+		wsample:      pl.WeightedSampler(),
 		inj:          inj,
 		steps:        w.Steps(),
 		s:            sh.Stream,
@@ -494,38 +510,85 @@ func newShardRunner(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda f
 	}, nil
 }
 
-// poisson draws the per-run interaction count. It matches Stream.Poisson
-// draw-for-draw but uses the runner's cached exp(-lambda) in the Knuth
-// branch that every auto-tuned campaign (λ ≈ 0.05) takes.
+// Batched run-loop parameters (DESIGN.md §16).
+const (
+	// runLoopReadAhead is the shard stream's uniform read-ahead buffer in
+	// draws: the batch of uniforms pre-generated in one tight pass and
+	// then consumed — in the exact unbuffered order — by the Poisson,
+	// alias, physics and injector draws of the following runs. 8 KiB of
+	// buffer, refilled roughly once per few hundred auto-tuned runs.
+	runLoopReadAhead = 1024
+	// runBatchSize is the number of runs per classify batch: integer
+	// tallies accumulate in batch-local variables and flush to the shard
+	// tally — and the cross-shard atomic events counter — once per batch,
+	// so the hot loop stops rattling a shared cache line on every event.
+	// Only associative integer counts are batched; weighted (Kahan) tally
+	// adds keep their exact per-run order.
+	runBatchSize = 512
+)
+
+// poisson draws the per-run interaction count via the rng layer's
+// cached-exponential Poisson, which matches Stream.Poisson draw-for-draw
+// (pinned by TestPoissonCachedMatchesStream) while paying math.Exp once
+// per shard instead of once per run.
 func (r *shardRunner) poisson() int64 {
-	if r.lambda <= 0 {
-		return 0
-	}
-	if r.lambda >= 30 {
-		return r.s.Poisson(r.lambda)
-	}
-	var k int64
-	p := 1.0
-	for {
-		p *= r.s.Float64()
-		if p <= r.expNegLambda {
-			return k
-		}
-		k++
-	}
+	return r.s.PoissonExp(r.lambda, r.expNegLambda)
 }
 
 // oneRun executes a single beam run: a Poisson number of conditioned
 // interaction draws, device physics per interaction, then workload replay
-// under the collected faults. This is the campaign hot loop; it must stay
+// under the collected faults. The common case — no interactions, no
+// carried faults — returns immediately; the rare fault-materialization
+// work lives in materialize so the hot loop stays small. It must stay
 // free of per-run allocations (asserted by TestRunLoopZeroAllocs).
 func (r *shardRunner) oneRun() {
-	s := r.s
+	before := r.tc.sdc + r.tc.due
 	nInt := r.poisson()
+	if nInt == 0 && len(r.persistent) == 0 {
+		r.tc.masked++
+		return
+	}
+	r.materialize(nInt)
+	if d := r.tc.sdc + r.tc.due - before; d != 0 {
+		r.events.Add(d)
+	}
+}
+
+// runBlock executes n exact runs as one batch: the classify pass
+// separates the no-interaction common path (a Poisson draw and a local
+// masked increment) from the rare materialization path, and the batch's
+// integer deltas flush to the shard tally and the shared events counter
+// once at the end. Every stream draw happens in exactly the per-run
+// order, so the batch is bit-identical to n oneRun calls.
+func (r *shardRunner) runBlock(n int) {
+	before := r.tc.sdc + r.tc.due
+	lambda, expNeg := r.lambda, r.expNegLambda
+	s := r.s
+	var masked int64
+	for i := 0; i < n; i++ {
+		nInt := s.PoissonExp(lambda, expNeg)
+		if nInt == 0 && len(r.persistent) == 0 {
+			masked++
+			continue
+		}
+		r.materialize(nInt)
+	}
+	r.tc.masked += masked
+	if d := r.tc.sdc + r.tc.due - before; d != 0 {
+		r.events.Add(d)
+	}
+}
+
+// materialize is the rare path of an exact run: nInt > 0 interactions to
+// draw and classify, or carried persistent faults to replay (or both).
+// Deliberately outlined from the batch loop — at auto-tuned λ ≈ 0.05 over
+// 95% of runs never come here.
+func (r *shardRunner) materialize(nInt int64) {
+	s := r.s
 	r.tc.interactions += nInt
 	faults := append(r.faults[:0], r.persistent...)
 	for k := int64(0); k < nInt; k++ {
-		e := r.plan.SampleInteraction(s)
+		e := r.sample.Sample(s)
 		f, upset := r.cfg.Device.InteractionUpset(e, s)
 		if !upset {
 			continue
@@ -547,14 +610,12 @@ func (r *shardRunner) oneRun() {
 	switch r.inj.Run(faults, s).Outcome {
 	case faultinject.OutcomeSDC:
 		r.tc.sdc++
-		r.events.Add(1)
 		if len(r.persistent) > 0 {
 			r.persistent = r.persistent[:0] // reprogram the FPGA
 			r.tc.reprograms++
 		}
 	case faultinject.OutcomeDUE:
 		r.tc.due++
-		r.events.Add(1)
 		if len(r.persistent) > 0 {
 			r.persistent = r.persistent[:0]
 			r.tc.reprograms++
@@ -564,22 +625,66 @@ func (r *shardRunner) oneRun() {
 	}
 }
 
-// oneRunWeighted is oneRun for biased campaigns: the same run structure —
-// Poisson draw count, per-interaction device physics, workload replay —
-// but every interaction comes from the biased table with its likelihood
+// oneRunWeighted is oneRun for biased campaigns: the same batched
+// structure — fast no-interaction path, outlined materialization — but
+// every interaction comes from the biased table with its likelihood
 // weight, and every tally is fed the appropriate weight alongside the
 // integer count. Per-draw tallies (draws, upsets by band) use the draw's
 // own weight; run outcomes (SDC/DUE/Masked) use the product of the
 // weights of every draw that influenced the run. Like oneRun it must stay
 // free of per-run allocations (TestRunLoopZeroAllocs covers both).
 func (r *shardRunner) oneRunWeighted() {
-	s := r.s
+	before := r.tc.sdc + r.tc.due
 	nInt := r.poisson()
+	if nInt == 0 && len(r.persistent) == 0 {
+		// A run with no draws and no carried faults is masked with outcome
+		// weight wCarried·1.0 and resets the carried product exactly like
+		// advanceCarried would (the persistent set is empty).
+		r.tc.masked++
+		r.tc.w.masked.Add(r.wCarried)
+		r.wCarried = 1
+		return
+	}
+	r.materializeWeighted(nInt)
+	if d := r.tc.sdc + r.tc.due - before; d != 0 {
+		r.events.Add(d)
+	}
+}
+
+// runBlockWeighted is runBlock for biased campaigns. Only the associative
+// integer counts and the events delta are batch-accumulated; the weighted
+// tallies are Kahan-compensated sums whose value depends on add order, so
+// they are fed per run in exactly the scalar order — bit-identity over
+// speed for anything non-associative.
+func (r *shardRunner) runBlockWeighted(n int) {
+	before := r.tc.sdc + r.tc.due
+	lambda, expNeg := r.lambda, r.expNegLambda
+	s := r.s
+	var masked int64
+	for i := 0; i < n; i++ {
+		nInt := s.PoissonExp(lambda, expNeg)
+		if nInt == 0 && len(r.persistent) == 0 {
+			masked++
+			r.tc.w.masked.Add(r.wCarried)
+			r.wCarried = 1
+			continue
+		}
+		r.materializeWeighted(nInt)
+	}
+	r.tc.masked += masked
+	if d := r.tc.sdc + r.tc.due - before; d != 0 {
+		r.events.Add(d)
+	}
+}
+
+// materializeWeighted is the rare path of a weighted run.
+func (r *shardRunner) materializeWeighted(nInt int64) {
+	s := r.s
 	r.tc.interactions += nInt
 	wRun := 1.0
 	faults := append(r.faults[:0], r.persistent...)
 	for k := int64(0); k < nInt; k++ {
-		e, w := r.plan.SampleInteractionWeighted(s)
+		e, w := r.wsample.Sample(s)
 		r.tc.w.draws.Add(w)
 		wRun *= w
 		f, upset := r.cfg.Device.InteractionUpset(e, s)
@@ -612,7 +717,6 @@ func (r *shardRunner) oneRunWeighted() {
 	case faultinject.OutcomeSDC:
 		r.tc.sdc++
 		r.tc.w.sdc.Add(wOut)
-		r.events.Add(1)
 		if len(r.persistent) > 0 {
 			r.persistent = r.persistent[:0] // reprogram the FPGA
 			r.tc.reprograms++
@@ -621,7 +725,6 @@ func (r *shardRunner) oneRunWeighted() {
 		r.tc.due++
 		r.tc.w.due.Add(wOut)
 		r.tc.w.dueByBand[outcomeBand].Add(wOut)
-		r.events.Add(1)
 		if len(r.persistent) > 0 {
 			r.persistent = r.persistent[:0]
 			r.tc.reprograms++
@@ -653,14 +756,22 @@ func runShard(cfg Config, sh engine.Shard, pl *plan.CampaignPlan, lambda float64
 	if err != nil {
 		return shardTally{}, err
 	}
+	// The shard executes in batches of runBatchSize runs: uniforms are
+	// pre-filled by the stream's read-ahead buffer, integer tallies
+	// accumulate batch-locally, and the shared events counter sees one
+	// atomic add per batch instead of one per event.
 	if pl.IsBiased() {
-		for i := 0; i < sh.Count; i++ {
-			r.oneRunWeighted()
+		for n := sh.Count; n > 0; {
+			b := min(n, runBatchSize)
+			r.runBlockWeighted(b)
+			n -= b
 		}
 		return r.tc, nil
 	}
-	for i := 0; i < sh.Count; i++ {
-		r.oneRun()
+	for n := sh.Count; n > 0; {
+		b := min(n, runBatchSize)
+		r.runBlock(b)
+		n -= b
 	}
 	return r.tc, nil
 }

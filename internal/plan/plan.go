@@ -211,6 +211,87 @@ func (p *CampaignPlan) SampleInteraction(s *rng.Stream) units.Energy {
 	return sl.alias
 }
 
+// Sampler is the batch-friendly view of the plan's exact alias table: the
+// fused 32-byte slot slice hoisted into a value the run loop keeps on its
+// own stack, so a batched classify pass does not reload the plan pointer
+// and re-derive the slice header on every draw. Draw-for-draw it is
+// SampleInteraction exactly — same uniform consumption, same energy — the
+// view changes only where the table header lives.
+type Sampler struct {
+	slots []slot
+}
+
+// Sampler returns the plan's exact-table sampling view.
+func (p *CampaignPlan) Sampler() Sampler { return Sampler{slots: p.slots} }
+
+// Sample draws one interacting energy; it is SampleInteraction through
+// the hoisted view.
+func (v Sampler) Sample(s *rng.Stream) units.Energy {
+	n := len(v.slots)
+	u := s.Float64() * float64(n)
+	i := int(u)
+	if i >= n {
+		i = n - 1
+	}
+	sl := &v.slots[i]
+	if u-float64(i) < sl.prob {
+		return sl.self
+	}
+	return sl.alias
+}
+
+// Fill draws len(out) interacting energies in one pass — the batch
+// equivalent of len(out) successive Sample calls, bit for bit, for
+// consumers whose per-energy processing does not interleave further
+// stream draws between energies. The beam run loop is NOT such a
+// consumer (device physics draws between energies), which is why it
+// batches at the uniform level with rng.Stream.ReadAhead instead
+// (DESIGN.md §16); Fill serves non-interleaved table scans.
+func (v Sampler) Fill(s *rng.Stream, out []units.Energy) {
+	for i := range out {
+		out[i] = v.Sample(s)
+	}
+}
+
+// WeightedSampler is Sampler for the weighted (importance-sampled) draw:
+// the active alias table — biased when the plan carries one, exact
+// otherwise — and the per-band likelihood weights, hoisted by value. On
+// an exact plan every weight is 1 and the draw consumes the stream
+// exactly like the exact sampler, mirroring SampleInteractionWeighted.
+type WeightedSampler struct {
+	slots []slot
+	bandW [physics.NumBands + 1]float64
+}
+
+// WeightedSampler returns the plan's weighted sampling view.
+func (p *CampaignPlan) WeightedSampler() WeightedSampler {
+	v := WeightedSampler{slots: p.biased, bandW: p.bandW}
+	if p.biased == nil {
+		v.slots = p.slots
+		for b := range v.bandW {
+			v.bandW[b] = 1
+		}
+	}
+	return v
+}
+
+// Sample draws one interacting energy with its likelihood weight; it is
+// SampleInteractionWeighted through the hoisted view.
+func (v WeightedSampler) Sample(s *rng.Stream) (units.Energy, float64) {
+	n := len(v.slots)
+	u := s.Float64() * float64(n)
+	i := int(u)
+	if i >= n {
+		i = n - 1
+	}
+	sl := &v.slots[i]
+	e := sl.alias
+	if u-float64(i) < sl.prob {
+		e = sl.self
+	}
+	return e, v.bandW[physics.Classify(e)]
+}
+
 // Checksum content-hashes the compiled plan (meanP and every slot). Two
 // plans with equal checksums are bit-identical samplers; the conformance
 // suite uses this to prove a cache hit returns exactly the plan a fresh

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
@@ -16,14 +19,23 @@ import (
 //	-metrics-out FILE     write a telemetry snapshot JSON at exit
 //	-progress             print periodic campaign status to stderr
 //	-log-json             emit structured JSON logs instead of key=value text
+//	-cpuprofile FILE      write a CPU profile covering Start..Close
+//	-memprofile FILE      write a heap profile at exit
+//
+// The profile files are written like -metrics-out: to a temp file in the
+// target directory, renamed into place at Close, so a crash mid-run never
+// leaves a truncated profile under the requested name.
 type CLI struct {
 	ObsAddr    string
 	MetricsOut string
 	Progress   bool
 	LogJSON    bool
+	CPUProfile string
+	MemProfile string
 
 	program string
 	server  *http.Server
+	cpuTmp  *os.File
 	closed  bool
 }
 
@@ -35,6 +47,8 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a telemetry snapshot JSON file at exit (atomic rename)")
 	fs.BoolVar(&c.Progress, "progress", false, "print periodic campaign progress lines to stderr")
 	fs.BoolVar(&c.LogJSON, "log-json", false, "structured JSON logs on stderr instead of key=value text")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file (atomic rename at exit)")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit (atomic rename)")
 	return c
 }
 
@@ -59,6 +73,67 @@ func (c *CLI) Start(program string) error {
 			"pprof", "http://"+addr+"/debug/pprof/",
 			"traces", "http://"+addr+"/debug/traces")
 	}
+	if c.CPUProfile != "" {
+		dir, base := filepath.Split(c.CPUProfile)
+		tmp, err := os.CreateTemp(dir, base+".tmp-*")
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(tmp); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			c.Close()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		c.cpuTmp = tmp
+	}
+	return nil
+}
+
+// finishCPUProfile stops profiling and renames the temp file into place.
+func (c *CLI) finishCPUProfile() error {
+	tmp := c.cpuTmp
+	c.cpuTmp = nil
+	pprof.StopCPUProfile()
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.CPUProfile); err != nil {
+		return fmt.Errorf("cpu profile: %w", err)
+	}
+	return nil
+}
+
+// writeMemProfile captures the live heap (after a GC, so the profile shows
+// retained memory rather than garbage) and renames it into place.
+func (c *CLI) writeMemProfile() error {
+	runtime.GC()
+	dir, base := filepath.Split(c.MemProfile)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := pprof.WriteHeapProfile(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.MemProfile); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
 	return nil
 }
 
@@ -72,8 +147,18 @@ func (c *CLI) Close() error {
 	c.closed = true
 	DisableProgress()
 	var err error
+	if c.cpuTmp != nil {
+		err = c.finishCPUProfile()
+	}
+	if c.MemProfile != "" {
+		if merr := c.writeMemProfile(); err == nil {
+			err = merr
+		}
+	}
 	if c.MetricsOut != "" {
-		err = Default.WriteSnapshot(c.MetricsOut)
+		if serr := Default.WriteSnapshot(c.MetricsOut); err == nil {
+			err = serr
+		}
 	}
 	if c.server != nil {
 		if cerr := c.server.Close(); err == nil {

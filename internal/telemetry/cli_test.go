@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIProfileFlags drives the shared -cpuprofile/-memprofile flags the
+// way cmd/beamsim and cmd/sweep do — BindFlags, Parse, Start, work, Close —
+// and checks both profiles land under their final names with no temp files
+// left behind.
+func TestCLIProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start("cli-test"); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(path))
+		}
+		// pprof profiles are gzip-framed; check the magic so a truncated
+		// or plain-text file fails loudly.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s does not start with a gzip header", filepath.Base(path))
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+
+	// Close is idempotent: a second call must not rewrite or error.
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
