@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-sampling bench-plan bench-vr bench-cluster bench-engine neutrond loadgen clean
+.PHONY: check vet build test race bench bench-sampling bench-plan bench-vr bench-cluster bench-engine bench-surrogate neutrond loadgen clean
 
 check: vet build race
 
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-bench: bench-sampling bench-plan bench-vr bench-cluster bench-engine
+bench: bench-sampling bench-plan bench-vr bench-cluster bench-engine bench-surrogate
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # bench-sampling runs the sampling + beam hot-loop benchmarks single-threaded
@@ -56,6 +56,15 @@ bench-vr:
 bench-engine:
 	$(GO) test -run='^$$' -bench='BeamCampaign' -benchtime=2x ./internal/engine
 
+# bench-surrogate trains the stock design-space surrogate, measures its
+# predict path against warm exact Monte Carlo at the production sample
+# budget, storms a surrogate-enabled server across all three serving
+# tiers, and writes BENCH_surrogate.json. The snapshot writer fails if
+# the held-out error escapes the certified bound, the latency win drops
+# below 1000x, or the tier storm sees errors.
+bench-surrogate:
+	$(GO) test -run='^$$' -bench='BenchmarkSurrogate' -benchmem ./internal/surrogate
+
 # bench-cluster compares a single neutrond node against a coordinator +
 # 3-worker fleet under the same closed-loop job storm and writes
 # BENCH_cluster.json. The snapshot writer fails if distributed execution
@@ -71,4 +80,4 @@ loadgen:
 	$(GO) build -o loadgen ./cmd/loadgen
 
 clean:
-	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json BENCH_vr.json BENCH_cluster.json BENCH_engine.json neutrond loadgen
+	rm -f BENCH_telemetry.json BENCH_sampling.json BENCH_plan.json BENCH_vr.json BENCH_cluster.json BENCH_engine.json BENCH_surrogate.json neutrond loadgen

@@ -9,6 +9,13 @@
 //	         [-job-shards N] [-shard-slots N] [-cache-entries 256] [-cache-mb 64]
 //	         [-plan-cache-entries 64] [-job-timeout 10m] [-drain-timeout 30s]
 //	         [-role worker|coordinator] [-peers url,url,...]
+//	         [-surrogate model.json]
+//
+// -surrogate loads a fitted design-space model (train one with
+// sweep -surrogate-out) and enables the approximate serving tier
+// (DESIGN.md §17): xsection campaigns carrying a positive tolerance that
+// the model's certified error bound satisfies are answered in O(µs) with
+// approx: true; everything else runs exact Monte Carlo unchanged.
 //
 // Cluster mode (DESIGN.md §15): every neutrond is a worker — its
 // POST /v1/shards surface executes shard ranges for any coordinator.
@@ -34,6 +41,7 @@ import (
 	"neutronsim/internal/cluster"
 	"neutronsim/internal/plan"
 	"neutronsim/internal/server"
+	"neutronsim/internal/surrogate"
 	"neutronsim/internal/telemetry"
 )
 
@@ -70,6 +78,7 @@ func run(args []string) error {
 	shardSlots := fs.Int("shard-slots", 0, "concurrent POST /v1/shards executions (0 = GOMAXPROCS; never affects results)")
 	role := fs.String("role", "worker", "cluster role: worker (serve shard ranges) or coordinator (also fan campaigns out to -peers)")
 	peers := fs.String("peers", "", "comma-separated peer base URLs for -role coordinator (e.g. http://127.0.0.1:8441,http://127.0.0.1:8442)")
+	surrogatePath := fs.String("surrogate", "", "fitted surrogate model (JSON) enabling the approximate xsection serving tier")
 	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +102,15 @@ func run(args []string) error {
 		CacheBytes:   int64(*cacheMB) << 20,
 		JobTimeout:   *jobTimeout,
 		DrainTimeout: *drainTimeout,
+	}
+	if *surrogatePath != "" {
+		m, err := surrogate.Load(*surrogatePath)
+		if err != nil {
+			return err
+		}
+		cfg.Surrogate = m
+		telemetry.Log().Info("surrogate tier enabled",
+			"model", m.Hash[:12], "certified_rel_err", m.CertifiedRelErr)
 	}
 	switch *role {
 	case "worker":

@@ -9,6 +9,7 @@
 //	      [-qcrit-min 1] [-qcrit-max 16] [-qcrit-steps 5]
 //	      [-samples 60000] [-shards N] [-seed N] [-csv file]
 //	      [-bias-thermal F] [-bias-epithermal F] [-bias-fast F]
+//	      [-train-out data.json] [-surrogate-out model.json]
 //	      [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // The -bias-* flags switch the cross-section estimator to importance
@@ -16,6 +17,10 @@
 // and estimates σ from likelihood-weighted interaction draws, so the rare
 // band gathers far more upset statistics from the same sample count. The
 // output format is unchanged. See DESIGN.md §14.
+//
+// -train-out exports the evaluated grid as a surrogate training dataset
+// and -surrogate-out fits and writes a content-hash-versioned surrogate
+// model of the grid, ready for neutrond -surrogate. See DESIGN.md §17.
 package main
 
 import (
@@ -28,11 +33,11 @@ import (
 	"strings"
 	"time"
 
-	"neutronsim/internal/device"
 	"neutronsim/internal/engine"
 	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
+	"neutronsim/internal/surrogate"
 	"neutronsim/internal/telemetry"
 )
 
@@ -65,6 +70,8 @@ func run(args []string) error {
 	biasFast := fs.Float64("bias-fast", 0, "fast-band oversampling factor (0 = exact estimator)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	csvPath := fs.String("csv", "", "also write the grid as CSV")
+	trainOut := fs.String("train-out", "", "also write the grid as a surrogate training dataset (JSON)")
+	surrogateOut := fs.String("surrogate-out", "", "fit a surrogate model on the grid and write it (JSON)")
 	obs := telemetry.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,12 +141,52 @@ func run(args []string) error {
 		fmt.Fprintf(&csv, "%g,%g,%g,%g,%g\n", p.boron, p.qcrit, p.sigmaThermal, p.sigmaFast, ratio)
 	}
 	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+		// Atomic temp+rename: a plotting script or a watcher re-reading the
+		// grid mid-sweep never sees a truncated file.
+		if err := telemetry.WriteFileAtomic(*csvPath, []byte(csv.String()), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
+	if *trainOut != "" || *surrogateOut != "" {
+		ds := dataset(points, *samples, *seed, bias)
+		if *trainOut != "" {
+			if err := ds.Save(*trainOut); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d rows)\n", *trainOut, len(ds.Rows))
+		}
+		if *surrogateOut != "" {
+			m, err := surrogate.Train(ds, surrogate.TrainConfig{})
+			if err != nil {
+				return err
+			}
+			if err := m.Save(*surrogateOut); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (model %.12s…, certified rel err %.4f)\n",
+				*surrogateOut, m.Hash, m.CertifiedRelErr)
+		}
+	}
 	return obs.Close()
+}
+
+// dataset converts an evaluated grid into surrogate training rows, two
+// per design point (ROTAX then ChipIR), in the same traversal order as
+// surrogate.EvaluateGrid.
+func dataset(points []*point, samples int, seed uint64, bias *plan.Bias) *surrogate.Dataset {
+	var b plan.Bias
+	if bias != nil {
+		b = *bias
+	}
+	rotax := spectrum.ROTAX()
+	chip := spectrum.ChipIR()
+	ds := surrogate.NewDataset(samples, seed)
+	for _, p := range points {
+		ds.Add(p.boron, p.qcrit, rotax, b, p.sigmaThermal)
+		ds.Add(p.boron, p.qcrit, chip, b, p.sigmaFast)
+	}
+	return ds
 }
 
 // buildGrid enumerates the log-spaced design points.
@@ -171,13 +218,12 @@ func buildGrid(bMin, bMax float64, bSteps int, qMin, qMax float64, qSteps int) [
 func evaluate(points []*point, samples, workers int, seed uint64, bias *plan.Bias) error {
 	evalStart := time.Now()
 	evaluated := telemetry.Default.Counter("sweep.points_evaluated")
-	// One compiled spectrum per beamline and one device template for the
-	// whole grid; each design point copies the template instead of
-	// re-deriving the catalog geometry per shard.
+	// One compiled spectrum per beamline for the whole grid; the per-point
+	// device comes from surrogate.DesignDevice, the single definition of
+	// the sweep design geometry shared with neutrond's xsection executor
+	// and the surrogate training grid.
 	chip := spectrum.ChipIR()
 	rotax := spectrum.ROTAX()
-	template := device.K20() // planar SRAM-like template geometry
-	template.Name = "sweep"
 	// Pre-split one stream per point for scheduling-independent results.
 	root := rng.New(seed)
 	streams := make([]*rng.Stream, len(points))
@@ -201,20 +247,17 @@ func evaluate(points []*point, samples, workers int, seed uint64, bias *plan.Bia
 	_, err := engine.Map(context.Background(), cfg, len(points), 1,
 		func(_ context.Context, sh engine.Shard) (struct{}, error) {
 			p := points[sh.Index]
-			d := *template
-			d.Boron10PerCm2 = p.boron
-			d.QcritFC = p.qcrit
-			d.QcritSigmaFC = p.qcrit / 4
+			d := surrogate.DesignDevice(p.boron, p.qcrit)
 			sigma := func(sp spectrum.Spectrum) (float64, error) {
 				if bias == nil {
 					s, err := d.UpsetCrossSection(sp.Sample, samples, sh.Stream)
 					return float64(s), err
 				}
-				cp, err := plan.CompileBiased(&d, sp, samples, sh.Stream, *bias)
+				cp, err := plan.CompileBiased(d, sp, samples, sh.Stream, *bias)
 				if err != nil {
 					return 0, err
 				}
-				s, _, err := cp.UpsetCrossSectionWeighted(&d, samples, sh.Stream)
+				s, _, err := cp.UpsetCrossSectionWeighted(d, samples, sh.Stream)
 				return float64(s), err
 			}
 			sigmaT, err := sigma(rotax)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"neutronsim/internal/plan"
+	"neutronsim/internal/surrogate"
 )
 
 func capture(t *testing.T, f func() error) (string, error) {
@@ -195,6 +196,82 @@ func TestSweepBiasedAgreesWithExact(t *testing.T) {
 				t.Errorf("point %d %s: biased sigma %v vs exact %v (ratio %v)", i, c.name, c.bi, c.ex, r)
 			}
 		}
+	}
+}
+
+// TestSweepTrainExport covers -train-out and -surrogate-out: the
+// exported dataset must be byte-equivalent (same training fingerprint)
+// to surrogate.EvaluateGrid on the same grid — sweep and the training
+// harness share device construction, traversal order and RNG
+// discipline — and the fitted model must load back under its content
+// hash.
+func TestSweepTrainExport(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "train.json")
+	modelPath := filepath.Join(dir, "model.json")
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-boron-min", "1e12", "-boron-max", "1e15", "-boron-steps", "8",
+			"-qcrit-min", "1", "-qcrit-max", "8", "-qcrit-steps", "6",
+			"-samples", "20000", "-seed", "7", "-shards", "4",
+			"-train-out", dataPath, "-surrogate-out", modelPath,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "certified rel err") {
+		t.Errorf("missing surrogate summary in output: %.300s", out)
+	}
+	ds, err := surrogate.LoadDataset(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := surrogate.EvaluateGrid(surrogate.GridConfig{
+		BoronMin: 1e12, BoronMax: 1e15, BoronSteps: 8,
+		QcritMin: 1, QcritMax: 8, QcritSteps: 6,
+		Samples: 20000,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Fingerprint() != ref.Fingerprint() {
+		t.Error("sweep -train-out dataset differs from surrogate.EvaluateGrid on the same grid")
+	}
+	m, err := surrogate.Load(modelPath)
+	if err != nil {
+		t.Fatalf("Load model: %v", err)
+	}
+	if m.TrainingFingerprint != ds.Fingerprint() {
+		t.Error("model training fingerprint does not match the exported dataset")
+	}
+}
+
+// TestSweepCSVAtomic pins the temp+rename write: after a sweep the
+// directory holds the CSV and no leftover temp files.
+func TestSweepCSVAtomic(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "grid.csv")
+	_, err := capture(t, func() error {
+		return run([]string{
+			"-boron-steps", "1", "-qcrit-steps", "1",
+			"-samples", "2000", "-seed", "5", "-csv", csvPath,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "grid.csv" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory after sweep = %v, want only grid.csv", names)
 	}
 }
 

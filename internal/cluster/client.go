@@ -168,28 +168,49 @@ func (c *Client) RunShardRange(ctx context.Context, peer string, campaign *serve
 	return out.Partial, nil
 }
 
+// Serving tiers a forwarded campaign can be answered from, as reported
+// in ForwardResult.Tier.
+const (
+	TierCache     = "cache"     // peer's exact result cache
+	TierSurrogate = "surrogate" // peer's fitted approximate model
+	TierExact     = "exact"     // fresh exact Monte Carlo job
+)
+
 // ForwardResult is a whole-campaign forward's outcome.
 type ForwardResult struct {
 	Envelope *server.ResultEnvelope
 	// CacheHit reports the peer answered from its result cache — the
 	// signal loadgen aggregates to show HRW routing concentrating keys.
 	CacheHit bool
+	// Tier is the serving tier that answered (TierCache, TierSurrogate
+	// or TierExact), straight from the peer's X-Cache header; loadgen
+	// breaks its latency quantiles down by it.
+	Tier string
 }
 
 // Forward submits campaign to peer and waits for the result, polling the
-// job until terminal. A cached answer returns immediately with CacheHit.
+// job until terminal. A cached or surrogate-served answer returns
+// immediately with its tier marked.
 func (c *Client) Forward(ctx context.Context, peer string, campaign *server.CampaignRequest) (*ForwardResult, error) {
 	status, hdr, payload, err := c.postRetry(ctx, peer+"/v1/campaigns", campaign)
 	if err != nil {
 		return nil, err
 	}
 	switch status {
-	case http.StatusOK: // cache hit: body is the ResultEnvelope
+	case http.StatusOK: // served without a job: cache hit or surrogate answer
 		var env server.ResultEnvelope
 		if err := json.Unmarshal(payload, &env); err != nil {
 			return nil, fmt.Errorf("cluster: decode cached result: %w", err)
 		}
-		return &ForwardResult{Envelope: &env, CacheHit: hdr.Get("X-Cache") == "hit"}, nil
+		res := &ForwardResult{Envelope: &env, Tier: TierExact}
+		switch hdr.Get("X-Cache") {
+		case "hit":
+			res.CacheHit = true
+			res.Tier = TierCache
+		case "surrogate":
+			res.Tier = TierSurrogate
+		}
+		return res, nil
 	case http.StatusAccepted:
 		var info server.JobInfo
 		if err := json.Unmarshal(payload, &info); err != nil {
@@ -230,7 +251,7 @@ func (c *Client) pollJob(ctx context.Context, peer, id string) (*ForwardResult, 
 			if err := json.Unmarshal(info.Result, &env); err != nil {
 				return nil, fmt.Errorf("cluster: decode job result: %w", err)
 			}
-			return &ForwardResult{Envelope: &env}, nil
+			return &ForwardResult{Envelope: &env, Tier: TierExact}, nil
 		case server.StateFailed, server.StateCanceled:
 			return nil, fmt.Errorf("cluster: job %s on %s %s: %s", id, peer, info.State, info.Error)
 		}

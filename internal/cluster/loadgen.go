@@ -87,6 +87,12 @@ type Quantiles struct {
 	P99 float64 `json:"p99_ms"`
 }
 
+// TierLatency is the latency breakdown for one serving tier.
+type TierLatency struct {
+	Requests int64     `json:"requests"`
+	Latency  Quantiles `json:"latency"`
+}
+
 // Report is one storm's outcome.
 type Report struct {
 	Target          string    `json:"target"`
@@ -100,6 +106,10 @@ type Report struct {
 	CacheHitRatio   float64   `json:"cache_hit_ratio"`
 	Throughput      float64   `json:"throughput_rps"`
 	Latency         Quantiles `json:"latency"`
+	// Tiers breaks successful requests down by the serving tier that
+	// answered (cache / surrogate / exact), each with its own quantiles —
+	// the serving pyramid made visible in one report.
+	Tiers map[string]TierLatency `json:"tiers,omitempty"`
 }
 
 // keyPicker returns a per-worker key source. Each worker gets its own
@@ -135,6 +145,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*Report, error) {
 	var (
 		mu        sync.Mutex
 		latencies []float64
+		byTier    = map[string][]float64{}
 		requests  int64
 		errors    int64
 		hits      int64
@@ -159,7 +170,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*Report, error) {
 				if err != nil {
 					errors++
 				} else {
-					latencies = append(latencies, float64(lat.Microseconds())/1000)
+					ms := float64(lat.Microseconds()) / 1000
+					latencies = append(latencies, ms)
+					byTier[res.Tier] = append(byTier[res.Tier], ms)
 					if res.CacheHit {
 						hits++
 					}
@@ -188,7 +201,42 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*Report, error) {
 		rep.Throughput = float64(requests-errors) / elapsed
 	}
 	rep.Latency = quantiles(latencies)
+	if len(byTier) > 0 {
+		rep.Tiers = map[string]TierLatency{}
+		for tier, ms := range byTier {
+			rep.Tiers[tier] = TierLatency{Requests: int64(len(ms)), Latency: quantiles(ms)}
+		}
+	}
 	return rep, nil
+}
+
+// XsectionCampaign returns a Campaign generator for design-space
+// cross-section storms: keys walk a small boron × Qcrit × spectrum
+// lattice inside the given surrogate training grid bounds. Every third
+// key carries tolerance zero (exact, cacheable); the rest opt into the
+// surrogate tier with the given tolerance, so one storm exercises all
+// three serving tiers.
+func XsectionCampaign(tolerance float64) func(key int) *server.CampaignRequest {
+	return func(key int) *server.CampaignRequest {
+		boron := []float64{3e12, 1e13, 5e13, 1e14, 5e14}[key%5]
+		qcrit := []float64{1.5, 2.5, 4, 6}[(key/5)%4]
+		spec := []string{"ROTAX", "ChipIR"}[(key/20)%2]
+		tol := tolerance
+		if key%3 == 0 {
+			tol = 0
+		}
+		return &server.CampaignRequest{
+			Kind:      server.KindXsection,
+			Seed:      uint64(2000 + key),
+			Tolerance: tol,
+			Xsection: &server.XsectionParams{
+				BoronPerCm2: boron,
+				QcritFC:     qcrit,
+				Spectrum:    spec,
+				Samples:     20000,
+			},
+		}
+	}
 }
 
 // quantiles computes p50/p90/p99 by nearest-rank over the sample.

@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 
 	"neutronsim/internal/device"
@@ -31,20 +32,32 @@ const (
 	KindAssess    = "assess"
 	KindMemory    = "memory"
 	KindTransport = "transport"
+	KindXsection  = "xsection"
 )
 
 // CampaignRequest is the body of POST /v1/campaigns. Exactly one of the
 // kind-specific sections must be set, matching Kind.
 type CampaignRequest struct {
-	// Kind selects the simulator: beam, assess, memory or transport.
+	// Kind selects the simulator: beam, assess, memory, transport or
+	// xsection.
 	Kind string `json:"kind"`
 	// Seed makes the campaign reproducible; it is part of the cache key.
 	Seed uint64 `json:"seed"`
+	// Tolerance is a serving hint, not a campaign parameter: the relative
+	// error the client will accept on the result. A positive tolerance
+	// lets the server answer an xsection query from the surrogate tier
+	// when the fitted model's certified error bound fits inside it; zero
+	// (the default) always routes exact Monte Carlo. Like the worker
+	// knobs, it never changes what the exact path computes, so Normalize
+	// zeroes it out of the canonical form and it is excluded from the
+	// cache key.
+	Tolerance float64 `json:"tolerance,omitempty"`
 
 	Beam      *BeamParams      `json:"beam,omitempty"`
 	Assess    *AssessParams    `json:"assess,omitempty"`
 	Memory    *MemoryParams    `json:"memory,omitempty"`
 	Transport *TransportParams `json:"transport,omitempty"`
+	Xsection  *XsectionParams  `json:"xsection,omitempty"`
 }
 
 // BeamParams describes one beam campaign (beam.RunContext).
@@ -109,6 +122,28 @@ type SlabParam struct {
 	ThicknessCm float64 `json:"thickness_cm"`
 }
 
+// XsectionParams describes one design-space cross-section query: the
+// upset cross section of the sweep design device (the K20 planar
+// template with the two knobs applied) under a beamline spectrum —
+// exactly the quantity cmd/sweep maps per grid point. This is the kind
+// the surrogate tier can serve: with a positive request tolerance, an
+// in-hull query is answered from the fitted model in O(µs); otherwise
+// it runs the exact Monte Carlo estimator.
+type XsectionParams struct {
+	BoronPerCm2 float64 `json:"boron_per_cm2"`
+	QcritFC     float64 `json:"qcrit_fc"`
+	Spectrum    string  `json:"spectrum"` // ChipIR or ROTAX
+	// Samples is the exact estimator's Monte Carlo budget (default 60000,
+	// the cmd/sweep default). The surrogate path ignores it — the model's
+	// training budget is recorded in its content hash instead.
+	Samples int `json:"samples,omitempty"`
+	// Bias opts the exact path into importance-sampled estimation, like
+	// BeamParams.Bias. Biased queries are never surrogate-served: the
+	// model is trained on the exact estimator, so the bias features fall
+	// outside its hull.
+	Bias *plan.Bias `json:"bias,omitempty"`
+}
+
 // SpectrumByName resolves a beamline spectrum case-insensitively.
 func SpectrumByName(name string) (spectrum.Spectrum, error) {
 	switch strings.ToLower(name) {
@@ -148,13 +183,19 @@ func (r *CampaignRequest) Normalize() (*CampaignRequest, error) {
 	}
 	n := &CampaignRequest{Kind: strings.ToLower(strings.TrimSpace(r.Kind)), Seed: r.Seed}
 	sections := 0
-	for _, set := range []bool{r.Beam != nil, r.Assess != nil, r.Memory != nil, r.Transport != nil} {
+	for _, set := range []bool{r.Beam != nil, r.Assess != nil, r.Memory != nil, r.Transport != nil, r.Xsection != nil} {
 		if set {
 			sections++
 		}
 	}
 	if sections > 1 {
 		return nil, fmt.Errorf("request must set exactly one campaign section, got %d", sections)
+	}
+	// Tolerance is validated here but deliberately NOT copied onto the
+	// canonical form: it is a serving hint, and the cache key must be a
+	// pure function of the campaign the exact path would run.
+	if math.IsNaN(r.Tolerance) || math.IsInf(r.Tolerance, 0) || r.Tolerance < 0 || r.Tolerance >= 1 {
+		return nil, fmt.Errorf("tolerance must be a finite relative error in [0,1)")
 	}
 	switch n.Kind {
 	case KindBeam:
@@ -177,8 +218,13 @@ func (r *CampaignRequest) Normalize() (*CampaignRequest, error) {
 			return nil, fmt.Errorf("kind %q requires a transport section", n.Kind)
 		}
 		return n, n.normalizeTransport(r.Transport)
+	case KindXsection:
+		if r.Xsection == nil {
+			return nil, fmt.Errorf("kind %q requires an xsection section", n.Kind)
+		}
+		return n, n.normalizeXsection(r.Xsection)
 	}
-	return nil, fmt.Errorf("unknown kind %q (want beam, assess, memory or transport)", r.Kind)
+	return nil, fmt.Errorf("unknown kind %q (want beam, assess, memory, transport or xsection)", r.Kind)
 }
 
 func (n *CampaignRequest) normalizeBeam(p *BeamParams) error {
@@ -355,6 +401,41 @@ func (n *CampaignRequest) normalizeTransport(p *TransportParams) error {
 	n.Transport = &t
 	return nil
 }
+
+func (n *CampaignRequest) normalizeXsection(p *XsectionParams) error {
+	x := *p
+	// NaN slips through sign checks, so demand finiteness explicitly.
+	if math.IsNaN(x.BoronPerCm2) || math.IsInf(x.BoronPerCm2, 0) || x.BoronPerCm2 < 0 {
+		return fmt.Errorf("xsection boron_per_cm2 must be finite and non-negative")
+	}
+	if math.IsNaN(x.QcritFC) || math.IsInf(x.QcritFC, 0) || x.QcritFC <= 0 {
+		return fmt.Errorf("xsection qcrit_fc must be finite and positive")
+	}
+	sp, err := SpectrumByName(x.Spectrum)
+	if err != nil {
+		return err
+	}
+	x.Spectrum = sp.Name()
+	if x.Samples < 0 {
+		return fmt.Errorf("xsection samples cannot be negative")
+	}
+	if x.Samples == 0 {
+		x.Samples = defaultXsectionSamples
+	}
+	if x.Bias != nil {
+		if err := x.Bias.Validate(); err != nil {
+			return err
+		}
+		bias := *x.Bias
+		x.Bias = &bias
+	}
+	n.Xsection = &x
+	return nil
+}
+
+// defaultXsectionSamples mirrors the cmd/sweep default Monte Carlo
+// budget per cross section.
+const defaultXsectionSamples = 60000
 
 func firstNonEmpty(a, b string) string {
 	if a != "" {

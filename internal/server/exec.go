@@ -8,8 +8,10 @@ import (
 	"neutronsim/internal/beam"
 	"neutronsim/internal/core"
 	"neutronsim/internal/memsim"
+	"neutronsim/internal/plan"
 	"neutronsim/internal/rng"
 	"neutronsim/internal/spectrum"
+	"neutronsim/internal/surrogate"
 	"neutronsim/internal/transport"
 	"neutronsim/internal/units"
 )
@@ -24,6 +26,25 @@ type ResultEnvelope struct {
 	Assessment *core.Assessment `json:"assessment,omitempty"`
 	Memory     *memsim.Result   `json:"memory,omitempty"`
 	Transport  *transport.Tally `json:"transport,omitempty"`
+	Xsection   *XsectionResult  `json:"xsection,omitempty"`
+}
+
+// XsectionResult is the xsection campaign result. Exact Monte Carlo
+// answers carry only the deterministic estimate; surrogate-served
+// answers additionally set Approx with the model's provenance, so a
+// client can always tell which tier answered.
+type XsectionResult struct {
+	BoronPerCm2 float64 `json:"boron_per_cm2"`
+	QcritFC     float64 `json:"qcrit_fc"`
+	Spectrum    string  `json:"spectrum"`
+	Samples     int     `json:"samples,omitempty"` // exact path only
+	SigmaCm2    float64 `json:"sigma_cm2"`
+	// Approx marks a surrogate-tier answer; the three fields below are
+	// only set alongside it.
+	Approx      bool    `json:"approx,omitempty"`
+	Confidence  float64 `json:"confidence,omitempty"`
+	RelErrBound float64 `json:"rel_err_bound,omitempty"`
+	ModelHash   string  `json:"model_hash,omitempty"`
 }
 
 // Execute runs a normalized campaign request against the simulators.
@@ -39,6 +60,8 @@ func Execute(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnve
 		return execMemory(ctx, req, shards)
 	case KindTransport:
 		return execTransport(ctx, req, shards)
+	case KindXsection:
+		return execXsection(req)
 	}
 	return nil, fmt.Errorf("unknown kind %q", req.Kind)
 }
@@ -165,4 +188,41 @@ func execTransport(ctx context.Context, req *CampaignRequest, shards int) (*Resu
 		return nil, err
 	}
 	return &ResultEnvelope{Kind: KindTransport, Transport: res}, nil
+}
+
+// execXsection is the exact Monte Carlo path for a design-space
+// cross-section query: the same device construction, estimator and RNG
+// discipline as one cmd/sweep grid point, so a surrogate trained on
+// sweep output predicts exactly this quantity — and the fallback path
+// behind the surrogate tier returns bit-identical results to a direct
+// library run.
+func execXsection(req *CampaignRequest) (*ResultEnvelope, error) {
+	p := req.Xsection
+	sp, err := SpectrumByName(p.Spectrum)
+	if err != nil {
+		return nil, err
+	}
+	d := surrogate.DesignDevice(p.BoronPerCm2, p.QcritFC)
+	s := rng.New(req.Seed)
+	var sigma units.CrossSection
+	if p.Bias == nil {
+		sigma, err = d.UpsetCrossSection(sp.Sample, p.Samples, s)
+	} else {
+		var cp *plan.CampaignPlan
+		cp, err = plan.CompileBiased(d, sp, p.Samples, s, *p.Bias)
+		if err != nil {
+			return nil, err
+		}
+		sigma, _, err = cp.UpsetCrossSectionWeighted(d, p.Samples, s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ResultEnvelope{Kind: KindXsection, Xsection: &XsectionResult{
+		BoronPerCm2: p.BoronPerCm2,
+		QcritFC:     p.QcritFC,
+		Spectrum:    p.Spectrum,
+		Samples:     p.Samples,
+		SigmaCm2:    float64(sigma),
+	}}, nil
 }

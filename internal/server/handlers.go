@@ -85,6 +85,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(body)
 		return
 	}
+	// Surrogate tier: after the exact-result cache (an exact answer is
+	// strictly better than an approximate one), before the job queue.
+	// The gate reads the raw request's tolerance — Normalize zeroes it on
+	// the canonical form so it can't perturb the cache key. Served
+	// answers are marked X-Cache: surrogate and are never cached: the
+	// result cache holds only exact, byte-identical campaign results.
+	if env := s.surrogate.answer(req, raw.Tolerance); env != nil {
+		body, merr := json.Marshal(env)
+		if merr != nil {
+			writeError(w, http.StatusInternalServerError, "marshal surrogate result: %v", merr)
+			return
+		}
+		w.Header().Set("X-Cache", "surrogate")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
 	// A valid incoming traceparent links the job's trace into the caller's;
 	// a malformed or absent one starts a fresh trace (W3C behavior).
 	var parent *trace.Traceparent
@@ -238,12 +256,13 @@ type JobStats struct {
 }
 
 // StatsResponse is the GET /v1/stats body: the job pipeline, the result
-// cache, and the process-wide compiled-plan cache shared by the worker
-// pool.
+// cache, the process-wide compiled-plan cache shared by the worker
+// pool, and the surrogate serving tier.
 type StatsResponse struct {
-	Jobs        JobStats   `json:"jobs"`
-	ResultCache CacheStats `json:"result_cache"`
-	PlanCache   PlanStats  `json:"plan_cache"`
+	Jobs        JobStats       `json:"jobs"`
+	ResultCache CacheStats     `json:"result_cache"`
+	PlanCache   PlanStats      `json:"plan_cache"`
+	Surrogate   SurrogateStats `json:"surrogate"`
 }
 
 // PlanStats mirrors plan.Cache stats plus the derived hit ratio, so the
@@ -271,6 +290,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		},
 		ResultCache: s.cache.Stats(),
 		PlanCache:   PlanStats{Stats: ps, HitRatio: ps.HitRatio()},
+		Surrogate:   s.surrogate.stats(),
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neutronsim/internal/surrogate"
 	"neutronsim/internal/telemetry"
 	"neutronsim/internal/telemetry/trace"
 )
@@ -58,6 +59,14 @@ type Config struct {
 	Execute func(ctx context.Context, req *CampaignRequest, shards int) (*ResultEnvelope, error)
 	// Registry receives the service's telemetry (default telemetry.Default).
 	Registry *telemetry.Registry
+	// Surrogate enables the approximate serving tier between the result
+	// cache and exact Monte Carlo: xsection requests carrying a positive
+	// tolerance that lands inside the model's trained hull and certified
+	// error bound are answered from the fitted model in O(µs) with
+	// approx: true. Nil (the default) disables the tier; every request
+	// then runs exact MC. Load a model with surrogate.Load, which
+	// verifies its content hash.
+	Surrogate *surrogate.Model
 }
 
 func (c Config) withDefaults() Config {
@@ -102,9 +111,10 @@ func (c Config) withDefaults() Config {
 
 // Server is the neutrond campaign service.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *Cache
+	cfg       Config
+	mux       *http.ServeMux
+	cache     *Cache
+	surrogate *surrogateTier // nil when no model is loaded
 
 	queue chan *Job
 	quit  chan struct{} // closed at drain: workers stop pulling
@@ -144,14 +154,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Registry),
-		queue:    make(chan *Job, cfg.QueueDepth),
-		quit:     make(chan struct{}),
-		shardSem: make(chan struct{}, cfg.ShardSlots),
-		byID:     map[string]*Job{},
-		inflight: map[string]*Job{},
-		execute:  Execute,
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheEntries, cfg.CacheBytes, cfg.Registry),
+		surrogate: newSurrogateTier(cfg.Surrogate, cfg.Registry),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		quit:      make(chan struct{}),
+		shardSem:  make(chan struct{}, cfg.ShardSlots),
+		byID:      map[string]*Job{},
+		inflight:  map[string]*Job{},
+		execute:   Execute,
 	}
 	if cfg.Execute != nil {
 		s.execute = cfg.Execute

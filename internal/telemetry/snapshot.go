@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 )
 
@@ -105,24 +104,7 @@ func (r *Registry) WriteSnapshot(path string) error {
 	if err != nil {
 		return fmt.Errorf("telemetry: marshal snapshot: %w", err)
 	}
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("telemetry: write snapshot: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		return fmt.Errorf("telemetry: write snapshot: %w", err)
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		return fmt.Errorf("telemetry: write snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("telemetry: write snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("telemetry: write snapshot: %w", err)
 	}
 	return nil
